@@ -1,0 +1,199 @@
+package pitract
+
+// One benchmark per experiment id (regenerating the corresponding paper
+// artifact end to end at Quick scale), plus fine-grained per-operation
+// benchmarks for the answering paths whose polylog/constant growth the
+// paper claims. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-op benchmarks report the interesting number directly (ns per
+// answered query after preprocessing); the experiment benchmarks bound the
+// cost of regenerating each table.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"pitract/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(io.Discard)
+	}
+}
+
+func BenchmarkE1_PointSelection(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkF1_BDSFactorizations(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkF2_Landscape(b *testing.B)         { benchExperiment(b, "F2") }
+func BenchmarkE3b_Reachability(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkC1_RangeSelection(b *testing.B)    { benchExperiment(b, "C1") }
+func BenchmarkC2_ListSearch(b *testing.B)        { benchExperiment(b, "C2") }
+func BenchmarkC3_RMQ(b *testing.B)               { benchExperiment(b, "C3") }
+func BenchmarkC4_LCA(b *testing.B)               { benchExperiment(b, "C4") }
+func BenchmarkC5_Compression(b *testing.B)       { benchExperiment(b, "C5") }
+func BenchmarkC6_Views(b *testing.B)             { benchExperiment(b, "C6") }
+func BenchmarkC7_Incremental(b *testing.B)       { benchExperiment(b, "C7") }
+func BenchmarkC8_CVP(b *testing.B)               { benchExperiment(b, "C8") }
+func BenchmarkC9_VertexCover(b *testing.B)       { benchExperiment(b, "C9") }
+func BenchmarkC10_TopK(b *testing.B)             { benchExperiment(b, "C10") }
+func BenchmarkC11_IncrementalPrep(b *testing.B)  { benchExperiment(b, "C11") }
+func BenchmarkC12_FuncAndRewriting(b *testing.B) { benchExperiment(b, "C12") }
+func BenchmarkT5_CompletenessChain(b *testing.B) { benchExperiment(b, "T5") }
+func BenchmarkL2_Composition(b *testing.B)       { benchExperiment(b, "L2") }
+func BenchmarkT9_Separation(b *testing.B)        { benchExperiment(b, "T9") }
+func BenchmarkP10_FReductions(b *testing.B)      { benchExperiment(b, "P10") }
+func BenchmarkA1_ClosureAblation(b *testing.B)   { benchExperiment(b, "A1") }
+func BenchmarkA2_BTreeFanout(b *testing.B)       { benchExperiment(b, "A2") }
+func BenchmarkA3_RMQAblation(b *testing.B)       { benchExperiment(b, "A3") }
+
+// --- per-operation benchmarks: the answering paths ---------------------------
+
+// BenchmarkOpPointSelectionAnswer measures one O(log|D|) point-selection
+// answer over a preprocessed 64k-row relation.
+func BenchmarkOpPointSelectionAnswer(b *testing.B) {
+	rel := GenerateRelation(RelationGenConfig{Rows: 1 << 16, Seed: 1, KeyMax: 1 << 17})
+	scheme := PointSelectionScheme()
+	prep, err := scheme.Preprocess(rel.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(2))
+	for i := range queries {
+		queries[i] = PointQuery(rng.Int63n(1 << 18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Answer(prep, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpBDSAnswer measures one O(1) BDS order answer over a
+// preprocessed 16k-vertex graph (Figure 1, Υ_BDS row).
+func BenchmarkOpBDSAnswer(b *testing.B) {
+	g := RandomConnectedUndirected(1<<14, 3<<14, 3)
+	scheme := BDSScheme()
+	prep, err := scheme.Preprocess(g.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(4))
+	for i := range queries {
+		queries[i] = NodePairQuery(rng.Intn(1<<14), rng.Intn(1<<14))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Answer(prep, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpBDSNaive measures the Υ′ row: a full search per query on a
+// 4k-vertex graph.
+func BenchmarkOpBDSNaive(b *testing.B) {
+	g := RandomConnectedUndirected(1<<12, 3<<12, 3)
+	d := g.Encode()
+	scheme := BDSNoPreprocessScheme()
+	queries := make([][]byte, 32)
+	rng := rand.New(rand.NewSource(4))
+	for i := range queries {
+		queries[i] = PadPair(d, NodePairQuery(rng.Intn(1<<12), rng.Intn(1<<12)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Answer(nil, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpReachabilityAnswer measures one O(1) closure-matrix read over
+// a preprocessed 2k-vertex digraph.
+func BenchmarkOpReachabilityAnswer(b *testing.B) {
+	g := RandomDirected(1<<11, 4<<11, 5)
+	scheme := ReachabilityScheme()
+	prep, err := scheme.Preprocess(g.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(6))
+	for i := range queries {
+		queries[i] = NodePairQuery(rng.Intn(1<<11), rng.Intn(1<<11))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Answer(prep, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpCVPGateReadout measures one O(1) gate-value read over a
+// preprocessed 64k-gate CVP instance (the C8 fast path).
+func BenchmarkOpCVPGateReadout(b *testing.B) {
+	inst := cvpInstance(1 << 16)
+	scheme := CVPGateValueScheme()
+	prep, err := scheme.Preprocess(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(8))
+	for i := range queries {
+		queries[i] = GateQuery(rng.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Answer(prep, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpCVPNoPreprocess measures the Theorem 9 slow path: evaluating a
+// 64k-gate instance from scratch per query.
+func BenchmarkOpCVPNoPreprocess(b *testing.B) {
+	inst := cvpInstance(1 << 16)
+	scheme := CVPNoPreprocessScheme()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.Answer(nil, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpTheorem5Chain measures one full chain execution (compile,
+// reduce, preprocess, answer) for the parity machine on 8-bit inputs.
+func BenchmarkOpTheorem5Chain(b *testing.B) {
+	cm := ParityMachine()
+	scheme := TMSchemeViaBDS(cm)
+	x := EncodeBits([]bool{true, false, true, true, false, false, true, true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep, err := scheme.Preprocess(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := scheme.Answer(prep, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

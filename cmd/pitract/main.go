@@ -1,0 +1,69 @@
+// Command pitract runs the paper-reproduction experiment suite.
+//
+// Usage:
+//
+//	pitract list              list all experiments
+//	pitract run <id>…         run selected experiments (E1, F1, C3, …)
+//	pitract run all           run the whole suite
+//	pitract -full run all     use the EXPERIMENTS.md workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pitract"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use Full (EXPERIMENTS.md) workload sizes instead of Quick")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	scale := pitract.ScaleQuick
+	if *full {
+		scale = pitract.ScaleFull
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range pitract.Experiments() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "pitract run: need experiment ids or 'all'")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+			ids = ids[:0]
+			for _, e := range pitract.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		}
+		for _, id := range ids {
+			if err := pitract.RunExperiment(os.Stdout, id, scale); err != nil {
+				fmt.Fprintf(os.Stderr, "pitract: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `pitract — experiments for "Making Queries Tractable on Big Data with Preprocessing"
+
+usage:
+  pitract list                 list experiments
+  pitract [-full] run <id>...  run experiments (or 'run all')
+`)
+}

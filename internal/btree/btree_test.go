@@ -1,0 +1,247 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidatesOrder(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("order 2 accepted")
+	}
+	tr, err := New(3)
+	if err != nil || tr.Order() != 3 {
+		t.Errorf("order 3 rejected: %v", err)
+	}
+	if NewDefault().Order() != DefaultOrder {
+		t.Error("NewDefault wrong order")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := MustNew(4)
+	keys := []int64{5, 3, 8, 1, 9, 7, 2, 6, 4, 0}
+	for row, k := range keys {
+		tr.Insert(k, row)
+	}
+	if tr.Len() != 10 || tr.Postings() != 10 {
+		t.Fatalf("Len=%d Postings=%d, want 10,10", tr.Len(), tr.Postings())
+	}
+	for row, k := range keys {
+		got := tr.Lookup(k)
+		if len(got) != 1 || got[0] != row {
+			t.Fatalf("Lookup(%d) = %v, want [%d]", k, got, row)
+		}
+	}
+	if tr.Contains(42) {
+		t.Error("phantom key")
+	}
+	if tr.Lookup(42) != nil {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestDuplicateKeysAccumulateRows(t *testing.T) {
+	tr := MustNew(4)
+	for row := 0; row < 5; row++ {
+		tr.Insert(7, row)
+	}
+	if tr.Len() != 1 || tr.Postings() != 5 {
+		t.Fatalf("Len=%d Postings=%d, want 1,5", tr.Len(), tr.Postings())
+	}
+	if rows := tr.Lookup(7); len(rows) != 5 {
+		t.Fatalf("Lookup(7) = %v", rows)
+	}
+}
+
+// model-based property test: the tree must agree with a sorted-map model for
+// membership, ordered key iteration, and range existence.
+func TestAgainstModelQuick(t *testing.T) {
+	f := func(raw []int16, order8 uint8) bool {
+		order := MinOrder + int(order8)%62
+		tr := MustNew(order)
+		model := map[int64][]int{}
+		for row, v := range raw {
+			k := int64(v)
+			tr.Insert(k, row)
+			model[k] = append(model[k], row)
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := tr.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		for k, rows := range model {
+			g := tr.Lookup(k)
+			if len(g) != len(rows) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionOrderInvariance(t *testing.T) {
+	keys := make([]int64, 500)
+	for i := range keys {
+		keys[i] = int64(i * 3 % 101)
+	}
+	tr1 := MustNew(8)
+	for row, k := range keys {
+		tr1.Insert(k, row)
+	}
+	shuffled := append([]int64(nil), keys...)
+	rand.New(rand.NewSource(5)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	tr2 := MustNew(8)
+	for row, k := range shuffled {
+		tr2.Insert(k, row)
+	}
+	k1, k2 := tr1.Keys(), tr2.Keys()
+	if len(k1) != len(k2) {
+		t.Fatalf("key counts differ: %d vs %d", len(k1), len(k2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("key order differs at %d", i)
+		}
+	}
+}
+
+func TestRangeExists(t *testing.T) {
+	tr := MustNew(4)
+	for row, k := range []int64{10, 20, 30, 40} {
+		tr.Insert(k, row)
+	}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 9, false}, {0, 10, true}, {10, 10, true}, {11, 19, false},
+		{15, 35, true}, {41, 99, false}, {40, 40, true}, {50, 10, false},
+	}
+	for _, c := range cases {
+		if got := tr.RangeExists(c.lo, c.hi); got != c.want {
+			t.Errorf("RangeExists(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := MustNew(4)
+	for row := 0; row < 100; row++ {
+		tr.Insert(int64(row*2), row) // even keys 0..198
+	}
+	var got []int64
+	tr.AscendRange(10, 30, func(k int64, rows []int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange keys = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange keys = %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(0, 198, func(int64, []int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Inverted range visits nothing.
+	tr.AscendRange(5, 1, func(int64, []int) bool {
+		t.Fatal("inverted range visited a key")
+		return false
+	})
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	for _, order := range []int{4, 16, 64} {
+		tr := MustNew(order)
+		n := 20000
+		for row := 0; row < n; row++ {
+			tr.Insert(int64(row), row)
+		}
+		// Height is at most log_{order/2}(n) + 2.
+		bound := int(math.Ceil(math.Log(float64(n))/math.Log(float64(order)/2))) + 2
+		if tr.Height() > bound {
+			t.Errorf("order %d: height %d exceeds bound %d", order, tr.Height(), bound)
+		}
+	}
+}
+
+func TestProbesLogarithmic(t *testing.T) {
+	tr := MustNew(8)
+	n := 1 << 15
+	for row := 0; row < n; row++ {
+		tr.Insert(int64(row), row)
+	}
+	_, probes := tr.ContainsProbes(int64(n / 2))
+	if probes != tr.Height() {
+		t.Fatalf("probes %d != height %d", probes, tr.Height())
+	}
+	if probes > 16 {
+		t.Fatalf("probes %d is not logarithmic for n=%d", probes, n)
+	}
+}
+
+func TestBulk(t *testing.T) {
+	tr, err := Bulk(8, []int64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, err := Bulk(1, nil); err == nil {
+		t.Fatal("Bulk accepted bad order")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewDefault()
+	if tr.Contains(0) || tr.Lookup(0) != nil || tr.RangeExists(0, 10) {
+		t.Error("empty tree claims membership")
+	}
+	if got := tr.Keys(); len(got) != 0 {
+		t.Errorf("Keys = %v", got)
+	}
+	if tr.Height() != 1 {
+		t.Errorf("Height = %d", tr.Height())
+	}
+}

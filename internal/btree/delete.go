@@ -1,0 +1,162 @@
+package btree
+
+import "sort"
+
+// Deletion with standard B⁺-tree rebalancing: remove the key from its leaf,
+// then repair underflow bottom-up by borrowing from a sibling or merging
+// with it, collapsing the root when it degenerates to a single child. The
+// tree keeps the leaf chain intact across merges, so range scans remain
+// valid after any update sequence.
+
+// minLeafKeys is the fill floor for non-root leaves.
+func minLeafKeys(order int) int { return (order - 1) / 2 }
+
+// minChildren is the fill floor for non-root interior nodes.
+func minChildren(order int) int { return (order + 1) / 2 }
+
+// Delete removes a key and all its postings. It reports whether the key
+// was present.
+func (t *Tree) Delete(key int64) bool {
+	removed, postings := t.deleteIn(t.root, key)
+	if !removed {
+		return false
+	}
+	t.keys--
+	t.rows -= postings
+	// Collapse a degenerate root.
+	if inner, ok := t.root.(*innerNode); ok && len(inner.children) == 1 {
+		t.root = inner.children[0]
+		t.height--
+	}
+	return true
+}
+
+// deleteIn removes key under n, repairing child underflow. It returns
+// whether the key existed and how many postings it carried.
+func (t *Tree) deleteIn(n node, key int64) (bool, int) {
+	switch n := n.(type) {
+	case *leafNode:
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false, 0
+		}
+		postings := len(n.rows[i])
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.rows = append(n.rows[:i], n.rows[i+1:]...)
+		return true, postings
+	case *innerNode:
+		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		removed, postings := t.deleteIn(n.children[i], key)
+		if removed {
+			t.repair(n, i)
+		}
+		return removed, postings
+	}
+	return false, 0
+}
+
+// underfull reports whether child violates its fill floor.
+func (t *Tree) underfull(child node) bool {
+	switch c := child.(type) {
+	case *leafNode:
+		return len(c.keys) < minLeafKeys(t.order)
+	case *innerNode:
+		return len(c.children) < minChildren(t.order)
+	}
+	return false
+}
+
+// repair fixes an underfull child i of parent by borrowing from an adjacent
+// sibling when possible, merging otherwise.
+func (t *Tree) repair(parent *innerNode, i int) {
+	child := parent.children[i]
+	if !t.underfull(child) {
+		return
+	}
+	// Prefer borrowing from the left sibling, then the right; merge as the
+	// last resort (left-into-right order keeps the leaf chain trivial).
+	if i > 0 && t.canLend(parent.children[i-1]) {
+		t.borrowFromLeft(parent, i)
+		return
+	}
+	if i+1 < len(parent.children) && t.canLend(parent.children[i+1]) {
+		t.borrowFromRight(parent, i)
+		return
+	}
+	if i > 0 {
+		t.merge(parent, i-1)
+	} else {
+		t.merge(parent, i)
+	}
+}
+
+// canLend reports whether a sibling can give up one entry without
+// underflowing itself.
+func (t *Tree) canLend(sib node) bool {
+	switch s := sib.(type) {
+	case *leafNode:
+		return len(s.keys) > minLeafKeys(t.order)
+	case *innerNode:
+		return len(s.children) > minChildren(t.order)
+	}
+	return false
+}
+
+func (t *Tree) borrowFromLeft(parent *innerNode, i int) {
+	switch cur := parent.children[i].(type) {
+	case *leafNode:
+		left := parent.children[i-1].(*leafNode)
+		last := len(left.keys) - 1
+		cur.keys = append([]int64{left.keys[last]}, cur.keys...)
+		cur.rows = append([][]int{left.rows[last]}, cur.rows...)
+		left.keys = left.keys[:last]
+		left.rows = left.rows[:last]
+		parent.keys[i-1] = cur.keys[0]
+	case *innerNode:
+		left := parent.children[i-1].(*innerNode)
+		lastK := len(left.keys) - 1
+		lastC := len(left.children) - 1
+		cur.keys = append([]int64{parent.keys[i-1]}, cur.keys...)
+		cur.children = append([]node{left.children[lastC]}, cur.children...)
+		parent.keys[i-1] = left.keys[lastK]
+		left.keys = left.keys[:lastK]
+		left.children = left.children[:lastC]
+	}
+}
+
+func (t *Tree) borrowFromRight(parent *innerNode, i int) {
+	switch cur := parent.children[i].(type) {
+	case *leafNode:
+		right := parent.children[i+1].(*leafNode)
+		cur.keys = append(cur.keys, right.keys[0])
+		cur.rows = append(cur.rows, right.rows[0])
+		right.keys = right.keys[1:]
+		right.rows = right.rows[1:]
+		parent.keys[i] = right.keys[0]
+	case *innerNode:
+		right := parent.children[i+1].(*innerNode)
+		cur.keys = append(cur.keys, parent.keys[i])
+		cur.children = append(cur.children, right.children[0])
+		parent.keys[i] = right.keys[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+	}
+}
+
+// merge folds child i+1 of parent into child i and drops the separator.
+func (t *Tree) merge(parent *innerNode, i int) {
+	switch left := parent.children[i].(type) {
+	case *leafNode:
+		right := parent.children[i+1].(*leafNode)
+		left.keys = append(left.keys, right.keys...)
+		left.rows = append(left.rows, right.rows...)
+		left.next = right.next
+	case *innerNode:
+		right := parent.children[i+1].(*innerNode)
+		left.keys = append(left.keys, parent.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	parent.keys = append(parent.keys[:i], parent.keys[i+1:]...)
+	parent.children = append(parent.children[:i+1], parent.children[i+2:]...)
+}

@@ -1,0 +1,216 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkInvariants walks the tree verifying ordering, fill floors and leaf
+// chain consistency.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n node, depth int, isRoot bool) (min, max int64, leaves int)
+	leafDepth := -1
+	walk = func(n node, depth int, isRoot bool) (int64, int64, int) {
+		switch n := n.(type) {
+		case *leafNode:
+			if leafDepth < 0 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaves at depths %d and %d", leafDepth, depth)
+			}
+			if !isRoot && len(n.keys) < minLeafKeys(tr.order) {
+				t.Fatalf("leaf underfull: %d < %d", len(n.keys), minLeafKeys(tr.order))
+			}
+			for i := 1; i < len(n.keys); i++ {
+				if n.keys[i-1] >= n.keys[i] {
+					t.Fatalf("leaf keys unsorted: %v", n.keys)
+				}
+			}
+			if len(n.keys) == 0 {
+				return 0, 0, 1 // empty root leaf
+			}
+			return n.keys[0], n.keys[len(n.keys)-1], 1
+		case *innerNode:
+			if !isRoot && len(n.children) < minChildren(tr.order) {
+				t.Fatalf("inner underfull: %d < %d", len(n.children), minChildren(tr.order))
+			}
+			if len(n.children) != len(n.keys)+1 {
+				t.Fatalf("inner shape broken: %d children, %d keys", len(n.children), len(n.keys))
+			}
+			var lo, hi int64
+			leaves := 0
+			for i, c := range n.children {
+				cmin, cmax, cl := walk(c, depth+1, false)
+				leaves += cl
+				if i == 0 {
+					lo = cmin
+				} else {
+					if cmin < n.keys[i-1] {
+						t.Fatalf("child %d min %d below separator %d", i, cmin, n.keys[i-1])
+					}
+				}
+				if i < len(n.keys) && cmax >= n.keys[i] {
+					t.Fatalf("child %d max %d not below separator %d", i, cmax, n.keys[i])
+				}
+				hi = cmax
+			}
+			return lo, hi, leaves
+		}
+		t.Fatal("unknown node type")
+		return 0, 0, 0
+	}
+	walk(tr.root, 0, true)
+	// Leaf chain must enumerate exactly the sorted keys.
+	keys := tr.Keys()
+	if len(keys) != tr.Len() {
+		t.Fatalf("chain has %d keys, counter says %d", len(keys), tr.Len())
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("chain unsorted: %v", keys)
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr := MustNew(4)
+	for row, k := range []int64{1, 2, 3, 4, 5, 6, 7, 8} {
+		tr.Insert(k, row)
+	}
+	if !tr.Delete(4) {
+		t.Fatal("existing key not deleted")
+	}
+	if tr.Delete(4) {
+		t.Fatal("deleted key deleted again")
+	}
+	if tr.Delete(100) {
+		t.Fatal("phantom key deleted")
+	}
+	if tr.Contains(4) {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestDeleteDrainsTree(t *testing.T) {
+	for _, order := range []int{3, 4, 8, 32} {
+		tr := MustNew(order)
+		n := 500
+		perm := rand.New(rand.NewSource(int64(order))).Perm(n)
+		for row, k := range perm {
+			tr.Insert(int64(k), row)
+		}
+		drain := rand.New(rand.NewSource(int64(order) + 1)).Perm(n)
+		for i, k := range drain {
+			if !tr.Delete(int64(k)) {
+				t.Fatalf("order %d: key %d missing at step %d", order, k, i)
+			}
+			if i%83 == 0 {
+				checkInvariants(t, tr)
+			}
+		}
+		if tr.Len() != 0 || tr.Postings() != 0 {
+			t.Fatalf("order %d: tree not empty after drain: %d keys", order, tr.Len())
+		}
+		if tr.Height() != 1 {
+			t.Fatalf("order %d: empty tree height %d", order, tr.Height())
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestDeleteRemovesAllPostings(t *testing.T) {
+	tr := MustNew(4)
+	for row := 0; row < 5; row++ {
+		tr.Insert(9, row)
+	}
+	tr.Insert(1, 99)
+	if !tr.Delete(9) {
+		t.Fatal("key not deleted")
+	}
+	if tr.Postings() != 1 || tr.Len() != 1 {
+		t.Fatalf("Postings=%d Len=%d after posting-heavy delete", tr.Postings(), tr.Len())
+	}
+}
+
+func TestInterleavedInsertDeleteAgainstModel(t *testing.T) {
+	f := func(ops []int16, order8 uint8) bool {
+		order := MinOrder + int(order8)%30
+		tr := MustNew(order)
+		model := map[int64][]int{}
+		for row, op := range ops {
+			k := int64(op % 64) // small key space: plenty of collisions
+			if op%3 == 0 {
+				deleted := tr.Delete(k)
+				_, existed := model[k]
+				if deleted != existed {
+					return false
+				}
+				delete(model, k)
+			} else {
+				tr.Insert(k, row)
+				model[k] = append(model[k], row)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, rows := range model {
+			got := tr.Lookup(k)
+			if len(got) != len(rows) {
+				return false
+			}
+		}
+		// Chain must equal the sorted model key set.
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := tr.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeScanAfterHeavyDeletion(t *testing.T) {
+	tr := MustNew(5)
+	for k := int64(0); k < 1000; k++ {
+		tr.Insert(k, int(k))
+	}
+	for k := int64(0); k < 1000; k += 2 { // delete evens
+		tr.Delete(k)
+	}
+	checkInvariants(t, tr)
+	var got []int64
+	tr.AscendRange(100, 120, func(k int64, rows []int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{101, 103, 105, 107, 109, 111, 113, 115, 117, 119}
+	if len(got) != len(want) {
+		t.Fatalf("range after deletion = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range after deletion = %v", got)
+		}
+	}
+	if tr.RangeExists(100, 100) {
+		t.Fatal("deleted key still found by range")
+	}
+}

@@ -1,0 +1,133 @@
+package circuit
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instance is a full CVP instance: circuit ᾱ, inputs x1..xn, designated
+// output y (carried inside Circuit.Output).
+type Instance struct {
+	Circuit *Circuit
+	Inputs  []bool
+}
+
+// Eval answers the instance.
+func (in *Instance) Eval() (bool, error) { return in.Circuit.Eval(in.Inputs) }
+
+// Encode serializes the circuit as the paper's "sequence of tuples".
+func (c *Circuit) Encode() []byte {
+	b := binary.AppendUvarint(nil, uint64(c.NumInputs))
+	b = binary.AppendUvarint(b, uint64(len(c.Gates)))
+	b = binary.AppendUvarint(b, uint64(c.Output))
+	for _, g := range c.Gates {
+		b = append(b, byte(g.Kind))
+		b = binary.AppendUvarint(b, uint64(g.Arg))
+		b = binary.AppendUvarint(b, uint64(len(g.In)))
+		for _, in := range g.In {
+			b = binary.AppendUvarint(b, uint64(in))
+		}
+	}
+	return b
+}
+
+// Decode parses a byte string produced by Encode and validates the result.
+func Decode(buf []byte) (*Circuit, error) {
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("circuit: corrupt varint at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	numIn, err := next()
+	if err != nil {
+		return nil, err
+	}
+	nGates, err := next()
+	if err != nil {
+		return nil, err
+	}
+	output, err := next()
+	if err != nil {
+		return nil, err
+	}
+	c := &Circuit{NumInputs: int(numIn), Output: int32(output), Gates: make([]Gate, 0, nGates)}
+	for i := uint64(0); i < nGates; i++ {
+		if off >= len(buf) {
+			return nil, fmt.Errorf("circuit: truncated at gate %d", i)
+		}
+		kind := Kind(buf[off])
+		off++
+		arg, err := next()
+		if err != nil {
+			return nil, err
+		}
+		fanIn, err := next()
+		if err != nil {
+			return nil, err
+		}
+		g := Gate{Kind: kind, Arg: int32(arg)}
+		for j := uint64(0); j < fanIn; j++ {
+			in, err := next()
+			if err != nil {
+				return nil, err
+			}
+			g.In = append(g.In, int32(in))
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("circuit: %d trailing bytes", len(buf)-off)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// EncodeInstance serializes a full instance (inputs then circuit).
+func EncodeInstance(in *Instance) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(in.Inputs)))
+	for _, v := range in.Inputs {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return append(b, in.Circuit.Encode()...)
+}
+
+// DecodeInstance parses a byte string produced by EncodeInstance.
+func DecodeInstance(buf []byte) (*Instance, error) {
+	n64, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("circuit: corrupt instance header")
+	}
+	off := k
+	if uint64(len(buf)-off) < n64 {
+		return nil, fmt.Errorf("circuit: truncated inputs")
+	}
+	inputs := make([]bool, n64)
+	for i := range inputs {
+		switch buf[off] {
+		case 0:
+		case 1:
+			inputs[i] = true
+		default:
+			return nil, fmt.Errorf("circuit: input byte %d is %d", i, buf[off])
+		}
+		off++
+	}
+	c, err := Decode(buf[off:])
+	if err != nil {
+		return nil, err
+	}
+	if c.NumInputs != len(inputs) {
+		return nil, fmt.Errorf("circuit: instance carries %d inputs, circuit wants %d", len(inputs), c.NumInputs)
+	}
+	return &Instance{Circuit: c, Inputs: inputs}, nil
+}

@@ -1,0 +1,68 @@
+package circuit
+
+import "math/rand"
+
+// GenConfig parameterizes random circuit generation.
+type GenConfig struct {
+	Inputs int
+	Gates  int // operator gates beyond the input layer
+	Seed   int64
+	// MaxFanIn bounds AND/OR fan-in (default 2).
+	MaxFanIn int
+}
+
+// Generate builds a seeded random circuit: an input layer followed by
+// random AND/OR/NOT gates wired to earlier gates, with the final gate as
+// output. Generation is deterministic per seed.
+func Generate(cfg GenConfig) *Circuit {
+	if cfg.Inputs < 1 {
+		cfg.Inputs = 1
+	}
+	if cfg.Gates < 1 {
+		cfg.Gates = 1
+	}
+	if cfg.MaxFanIn < 2 {
+		cfg.MaxFanIn = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Circuit{NumInputs: cfg.Inputs}
+	for i := 0; i < cfg.Inputs; i++ {
+		c.Gates = append(c.Gates, Gate{Kind: KindInput, Arg: int32(i)})
+	}
+	for i := 0; i < cfg.Gates; i++ {
+		prev := len(c.Gates)
+		pick := func() int32 { return int32(rng.Intn(prev)) }
+		switch rng.Intn(3) {
+		case 0:
+			c.Gates = append(c.Gates, Gate{Kind: KindNot, In: []int32{pick()}})
+		case 1:
+			c.Gates = append(c.Gates, Gate{Kind: KindAnd, In: pickMany(rng, prev, cfg.MaxFanIn)})
+		default:
+			c.Gates = append(c.Gates, Gate{Kind: KindOr, In: pickMany(rng, prev, cfg.MaxFanIn)})
+		}
+	}
+	c.Output = int32(len(c.Gates) - 1)
+	return c
+}
+
+func pickMany(rng *rand.Rand, prev, maxFanIn int) []int32 {
+	k := 2 + rng.Intn(maxFanIn-1)
+	if k > prev {
+		k = prev
+	}
+	in := make([]int32, k)
+	for i := range in {
+		in[i] = int32(rng.Intn(prev))
+	}
+	return in
+}
+
+// RandomInputs returns a seeded input assignment of length n.
+func RandomInputs(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, n)
+	for i := range in {
+		in[i] = rng.Intn(2) == 1
+	}
+	return in
+}

@@ -1,0 +1,145 @@
+package circuit
+
+// Optimize shrinks a circuit without changing its function: constants are
+// folded through gates, neutral operands are pruned, single-operand
+// AND/OR gates collapse to wires, and gates unreachable from the output
+// are dropped. The Cook–Levin tableaux of internal/tm are dominated by
+// constant wires (blank tape cells, absent heads), so optimization
+// routinely removes the bulk of their gates — an ablation the benchmarks
+// exercise.
+
+// foldState is the per-gate folding result: a known constant, an alias of
+// another gate, or a real gate (neither flag set).
+type foldState struct {
+	isConst bool
+	val     bool
+	alias   int32 // ≥ 0 when this gate is exactly another gate's value
+}
+
+// Optimize returns a functionally identical circuit, typically much
+// smaller. The input circuit is not modified.
+func Optimize(c *Circuit) (*Circuit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Gates)
+	states := make([]foldState, n)
+	liveIns := make([][]int32, n) // pruned operand lists for surviving gates
+	for i := range states {
+		states[i].alias = -1
+	}
+	resolve := func(g int32) int32 {
+		for states[g].alias >= 0 {
+			g = states[g].alias
+		}
+		return g
+	}
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case KindInput:
+			// stays a real gate
+		case KindConst:
+			states[i] = foldState{isConst: true, val: g.Arg == 1, alias: -1}
+		case KindNot:
+			in := resolve(g.In[0])
+			if states[in].isConst {
+				states[i] = foldState{isConst: true, val: !states[in].val, alias: -1}
+			} else {
+				liveIns[i] = []int32{in}
+			}
+		case KindAnd, KindOr:
+			neutral := g.Kind == KindAnd // AND's neutral operand is true, OR's is false
+			decided := false
+			var live []int32
+			seen := map[int32]bool{}
+			for _, raw := range g.In {
+				in := resolve(raw)
+				if states[in].isConst {
+					if states[in].val != neutral {
+						// Absorbing operand: false decides AND, true decides OR.
+						states[i] = foldState{isConst: true, val: !neutral, alias: -1}
+						decided = true
+						break
+					}
+					continue // neutral operand: drop
+				}
+				if !seen[in] {
+					seen[in] = true
+					live = append(live, in)
+				}
+			}
+			if decided {
+				continue
+			}
+			switch len(live) {
+			case 0:
+				// All operands were neutral: AND() = true, OR() = false.
+				states[i] = foldState{isConst: true, val: neutral, alias: -1}
+			case 1:
+				states[i] = foldState{alias: live[0]}
+			default:
+				liveIns[i] = live
+			}
+		}
+	}
+	// Emit the compacted circuit bottom-up in the original (topological)
+	// order, keeping only gates reachable from the resolved output.
+	outRep := resolve(c.Output)
+	out := &Circuit{NumInputs: c.NumInputs}
+	constFalse, constTrue := int32(-1), int32(-1)
+	getConst := func(v bool) int32 {
+		if v {
+			if constTrue < 0 {
+				out.Gates = append(out.Gates, Gate{Kind: KindConst, Arg: 1})
+				constTrue = int32(len(out.Gates) - 1)
+			}
+			return constTrue
+		}
+		if constFalse < 0 {
+			out.Gates = append(out.Gates, Gate{Kind: KindConst, Arg: 0})
+			constFalse = int32(len(out.Gates) - 1)
+		}
+		return constFalse
+	}
+	if states[outRep].isConst {
+		out.Output = getConst(states[outRep].val)
+		return out, nil
+	}
+	// Reachability sweep (iterative; tableaux can be very deep).
+	needed := make([]bool, n)
+	stack := []int32{outRep}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if needed[g] {
+			continue
+		}
+		needed[g] = true
+		for _, in := range liveIns[g] {
+			if !needed[in] {
+				stack = append(stack, in)
+			}
+		}
+	}
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if !needed[i] {
+			continue
+		}
+		g := c.Gates[i]
+		ng := Gate{Kind: g.Kind, Arg: g.Arg}
+		for _, in := range liveIns[i] {
+			ng.In = append(ng.In, remap[in])
+		}
+		out.Gates = append(out.Gates, ng)
+		remap[i] = int32(len(out.Gates) - 1)
+	}
+	out.Output = remap[outRep]
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allAssignments(n int) [][]bool {
+	out := make([][]bool, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = mask&(1<<i) != 0
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestOptimizePreservesFunctionExhaustively(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c := Generate(GenConfig{Inputs: 5, Gates: 40, Seed: seed})
+		opt, err := Optimize(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, in := range allAssignments(5) {
+			want, err1 := c.Eval(in)
+			got, err2 := opt.Eval(in)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if got != want {
+				t.Fatalf("seed %d input %v: optimized %v, original %v", seed, in, got, want)
+			}
+		}
+		if opt.Size() > c.Size()+2 {
+			t.Fatalf("seed %d: optimization grew the circuit %d → %d", seed, c.Size(), opt.Size())
+		}
+	}
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	// (x0 AND false) OR (true AND true) ≡ true.
+	c := &Circuit{
+		NumInputs: 1,
+		Gates: []Gate{
+			{Kind: KindInput, Arg: 0},
+			{Kind: KindConst, Arg: 0},
+			{Kind: KindConst, Arg: 1},
+			{Kind: KindAnd, In: []int32{0, 1}},
+			{Kind: KindAnd, In: []int32{2, 2}},
+			{Kind: KindOr, In: []int32{3, 4}},
+		},
+		Output: 5,
+	}
+	opt, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Size() != 1 || opt.Gates[0].Kind != KindConst || opt.Gates[0].Arg != 1 {
+		t.Fatalf("constant circuit not fully folded: %+v", opt.Gates)
+	}
+	if v, _ := opt.Eval([]bool{false}); !v {
+		t.Fatal("folded constant has wrong value")
+	}
+}
+
+func TestOptimizeCollapsesWires(t *testing.T) {
+	// OR(x0, false) is just x0; NOT(NOT-free alias) keeps one gate.
+	c := &Circuit{
+		NumInputs: 1,
+		Gates: []Gate{
+			{Kind: KindInput, Arg: 0},
+			{Kind: KindConst, Arg: 0},
+			{Kind: KindOr, In: []int32{0, 1}},
+			{Kind: KindNot, In: []int32{2}},
+		},
+		Output: 3,
+	}
+	opt, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Size() != 2 { // input + not
+		t.Fatalf("wire not collapsed: %d gates %+v", opt.Size(), opt.Gates)
+	}
+}
+
+func TestOptimizeDropsDeadGates(t *testing.T) {
+	c := &Circuit{
+		NumInputs: 2,
+		Gates: []Gate{
+			{Kind: KindInput, Arg: 0},
+			{Kind: KindInput, Arg: 1},
+			{Kind: KindAnd, In: []int32{0, 1}}, // dead
+			{Kind: KindNot, In: []int32{0}},    // output cone
+		},
+		Output: 3,
+	}
+	opt, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Size() != 2 {
+		t.Fatalf("dead gate survived: %+v", opt.Gates)
+	}
+}
+
+func TestOptimizeQuick(t *testing.T) {
+	f := func(seed int64, inputs8, gates8 uint8) bool {
+		nIn := 1 + int(inputs8)%4
+		c := Generate(GenConfig{Inputs: nIn, Gates: 1 + int(gates8)%60, Seed: seed})
+		opt, err := Optimize(c)
+		if err != nil {
+			return false
+		}
+		in := RandomInputs(nIn, seed+1)
+		a, err1 := c.Eval(in)
+		b, err2 := opt.Eval(in)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeRejectsInvalid(t *testing.T) {
+	if _, err := Optimize(&Circuit{NumInputs: 1}); err == nil {
+		t.Fatal("invalid circuit optimized")
+	}
+}

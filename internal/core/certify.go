@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The definitions demand that answering run in parallel polylog time; the
+// repository backs that claim empirically. Classify fits a measured
+// cost-versus-size series and labels its growth. The discriminator is the
+// log-log slope: polylogarithmic families have slope → 0 as n grows, while
+// a polynomial of degree a has slope → a.
+
+// Measurement is one (input size, cost) sample. Cost can be nanoseconds,
+// probes, PRAM rounds — any resource that grows with the work done.
+type Measurement struct {
+	N    float64
+	Cost float64
+}
+
+// Growth labels a fitted growth family.
+type Growth int
+
+const (
+	// GrowthConstant: cost independent of n.
+	GrowthConstant Growth = iota
+	// GrowthPolylog: cost bounded by a polynomial in log n — the NC
+	// answering budget of Definition 1.
+	GrowthPolylog
+	// GrowthPolynomial: cost grows like n^a for a ≥ ~0.5 — a linear scan
+	// or worse; preprocessing did not (or could not) help.
+	GrowthPolynomial
+)
+
+// String names the growth family.
+func (g Growth) String() string {
+	switch g {
+	case GrowthConstant:
+		return "O(1)"
+	case GrowthPolylog:
+		return "polylog"
+	case GrowthPolynomial:
+		return "polynomial"
+	default:
+		return fmt.Sprintf("Growth(%d)", int(g))
+	}
+}
+
+// Fit is the result of classifying a measurement series.
+type Fit struct {
+	Growth Growth
+	// Exponent is the fitted log-log slope: ~0 for constant/polylog
+	// series, ~a for an n^a series.
+	Exponent float64
+	// LogLogR2 is the coefficient of determination of the log-log linear
+	// fit; values near 1 mean the polynomial model explains the data.
+	LogLogR2 float64
+}
+
+// Classify fits the series. It requires at least three samples spanning at
+// least a factor of four in n, otherwise it errors: growth claims need a
+// real sweep behind them.
+func Classify(ms []Measurement) (Fit, error) {
+	if len(ms) < 3 {
+		return Fit{}, fmt.Errorf("core: need ≥ 3 measurements, got %d", len(ms))
+	}
+	minN, maxN := math.Inf(1), math.Inf(-1)
+	for _, m := range ms {
+		if m.N <= 0 || m.Cost < 0 {
+			return Fit{}, fmt.Errorf("core: measurements must have n > 0, cost ≥ 0")
+		}
+		minN = math.Min(minN, m.N)
+		maxN = math.Max(maxN, m.N)
+	}
+	if maxN/minN < 4 {
+		return Fit{}, fmt.Errorf("core: size sweep spans only %.1fx, need ≥ 4x", maxN/minN)
+	}
+	// Linear regression of log(cost+1) on log(n). The +1 keeps zero-cost
+	// (e.g. zero-probe) samples finite without disturbing large costs.
+	var sx, sy, sxx, sxy, syy float64
+	n := float64(len(ms))
+	for _, m := range ms {
+		x := math.Log(m.N)
+		y := math.Log(m.Cost + 1)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	slope := (n*sxy - sx*sy) / den
+	// R² of the fit.
+	meanY := sy / n
+	ssTot := syy - n*meanY*meanY
+	intercept := (sy - slope*sx) / n
+	ssRes := 0.0
+	for _, m := range ms {
+		x := math.Log(m.N)
+		y := math.Log(m.Cost + 1)
+		e := y - (intercept + slope*x)
+		ssRes += e * e
+	}
+	r2 := 1.0
+	if ssTot > 1e-12 {
+		r2 = 1 - ssRes/ssTot
+	}
+	fit := Fit{Exponent: slope, LogLogR2: r2}
+	// A polylog family log^k(n) has log-log slope k/ln(n) → 0; across the
+	// sweeps used here (≥ 4x, typically 100x) slopes stay below ~0.3 for
+	// k ≤ 2, while n^a families show slope ≈ a. The 0.45 cut cleanly
+	// separates polylog from the linear scans the baselines produce; the
+	// known blind spot (tiny fractional powers like n^0.3) is documented
+	// and irrelevant to the experiment suite.
+	if slope >= 0.45 {
+		fit.Growth = GrowthPolynomial
+		return fit, nil
+	}
+	// Distinguish truly flat from (poly)logarithmic via the cost ratio
+	// between the largest and smallest sample.
+	lo, hi := costAt(ms, minN), costAt(ms, maxN)
+	if hi <= lo*1.15+1 {
+		fit.Growth = GrowthConstant
+	} else {
+		fit.Growth = GrowthPolylog
+	}
+	return fit, nil
+}
+
+func costAt(ms []Measurement, n float64) float64 {
+	best, dist := 0.0, math.Inf(1)
+	for _, m := range ms {
+		if d := math.Abs(m.N - n); d < dist {
+			dist, best = d, m.Cost
+		}
+	}
+	return best
+}

@@ -1,0 +1,305 @@
+// Package graph provides the graph substrate shared by the paper's case
+// studies: graph construction and generators, traversals, strongly
+// connected components, transitive closure (sequential and PRAM), and a
+// deterministic byte codec for moving graphs across the data/query boundary
+// of factorizations.
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pitract/internal/pram"
+)
+
+// Graph is a simple graph with vertices 0..n-1. Undirected graphs store
+// each edge in both adjacency lists. Adjacency lists are kept sorted
+// ascending, which the breadth-depth search semantics of the paper rely on
+// ("the ordering induced by the vertex numbering").
+type Graph struct {
+	n        int
+	directed bool
+	m        int // logical edge count (an undirected edge counts once)
+	adj      [][]int32
+	sorted   bool
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int, directed bool) *Graph {
+	return &Graph{n: n, directed: directed, adj: make([][]int32, n), sorted: true}
+}
+
+// N reports the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// M reports the edge count (undirected edges counted once).
+func (g *Graph) M() int { return g.m }
+
+// Directed reports edge orientation.
+func (g *Graph) Directed() bool { return g.directed }
+
+// AddEdge inserts the edge u→v (plus v→u when undirected). Self-loops and
+// out-of-range endpoints are errors; parallel edges are tolerated and
+// deduplicated by Normalize.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	if !g.directed {
+		g.adj[v] = append(g.adj[v], int32(u))
+	}
+	g.m++
+	g.sorted = false
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for fixtures and generators.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Normalize sorts adjacency lists ascending and removes duplicate edges.
+// All traversal functions call it implicitly via Neighbors.
+func (g *Graph) Normalize() {
+	if g.sorted {
+		return
+	}
+	m := 0
+	for i := range g.adj {
+		l := g.adj[i]
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		out := l[:0]
+		for k, v := range l {
+			if k == 0 || v != l[k-1] {
+				out = append(out, v)
+			}
+		}
+		g.adj[i] = out
+		m += len(out)
+	}
+	if g.directed {
+		g.m = m
+	} else {
+		g.m = m / 2
+	}
+	g.sorted = true
+}
+
+// Neighbors returns the ascending adjacency list of v. The slice aliases
+// internal state and must not be mutated.
+func (g *Graph) Neighbors(v int) []int32 {
+	g.Normalize()
+	return g.adj[v]
+}
+
+// Degree reports the (out-)degree of v.
+func (g *Graph) Degree(v int) int { return len(g.Neighbors(v)) }
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n, g.directed)
+	c.m = g.m
+	c.sorted = g.sorted
+	for i, l := range g.adj {
+		c.adj[i] = append([]int32(nil), l...)
+	}
+	return c
+}
+
+// Edges enumerates edges as (u, v) pairs; undirected edges appear once with
+// u < v.
+func (g *Graph) Edges() [][2]int {
+	g.Normalize()
+	var out [][2]int
+	for u, l := range g.adj {
+		for _, v := range l {
+			if g.directed || u < int(v) {
+				out = append(out, [2]int{u, int(v)})
+			}
+		}
+	}
+	return out
+}
+
+// --- codec -----------------------------------------------------------------
+
+// Encode serializes the graph as a self-delimiting byte string:
+// n, directed flag, edge count, then delta-free (u,v) varint pairs.
+func (g *Graph) Encode() []byte {
+	g.Normalize()
+	edges := g.Edges()
+	b := binary.AppendUvarint(nil, uint64(g.n))
+	if g.directed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(edges)))
+	for _, e := range edges {
+		b = binary.AppendUvarint(b, uint64(e[0]))
+		b = binary.AppendUvarint(b, uint64(e[1]))
+	}
+	return b
+}
+
+// Decode parses a byte string produced by Encode.
+func Decode(buf []byte) (*Graph, error) {
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("graph: corrupt varint at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	n64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if off >= len(buf) {
+		return nil, fmt.Errorf("graph: truncated before orientation flag")
+	}
+	directed := buf[off] == 1
+	off++
+	g := New(int(n64), directed)
+	m64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < m64; i++ {
+		u, err := next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(int(u), int(v)); err != nil {
+			return nil, err
+		}
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("graph: %d trailing bytes", len(buf)-off)
+	}
+	g.Normalize()
+	return g, nil
+}
+
+// --- generators -------------------------------------------------------------
+
+// RandomDirected returns a seeded G(n, m) directed graph without self-loops.
+func RandomDirected(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, true)
+	for added := 0; added < m && n > 1; added++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomConnectedUndirected returns a seeded connected undirected graph: a
+// random spanning tree plus extra random edges.
+func RandomConnectedUndirected(n, extra int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, false)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v))
+	}
+	for e := 0; e < extra && n > 1; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomDAG returns a seeded DAG: each edge goes from a lower to a higher
+// vertex number.
+func RandomDAG(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, true)
+	for added := 0; added < m && n > 1; added++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		g.MustAddEdge(u, v)
+	}
+	g.Normalize()
+	return g
+}
+
+// CommunityGraph returns a seeded directed graph of c dense communities of
+// size s with sparse cross links — the "social network graph" shape used by
+// the query-preserving-compression case study (§4(5)).
+func CommunityGraph(c, s int, cross int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := c * s
+	g := New(n, true)
+	for com := 0; com < c; com++ {
+		base := com * s
+		// A cycle through the community keeps it strongly connected, plus
+		// chords for density.
+		for i := 0; i < s; i++ {
+			g.MustAddEdge(base+i, base+(i+1)%s)
+		}
+		for i := 0; i < s; i++ {
+			u := base + rng.Intn(s)
+			v := base + rng.Intn(s)
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	for e := 0; e < cross; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// Path returns the n-vertex path 0—1—…—n-1 (directed: 0→1→…).
+func Path(n int, directed bool) *Graph {
+	g := New(n, directed)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	g.Normalize()
+	return g
+}
+
+// AdjacencyMatrix converts the graph to a PRAM Boolean matrix.
+func (g *Graph) AdjacencyMatrix() *pram.BoolMatrix {
+	g.Normalize()
+	mat := pram.NewBoolMatrix(g.n)
+	for u, l := range g.adj {
+		for _, v := range l {
+			mat.Set(u, int(v), true)
+		}
+	}
+	return mat
+}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment at Quick scale and
+// sanity-checks the produced tables. This is the repository's integration
+// test: it exercises every substrate through the framework at once.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q, want %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s row %d has %d cells for %d columns", e.ID, i, len(row), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Render(&buf)
+			out := buf.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tbl.Columns[0]) {
+				t.Fatalf("%s render missing header: %q", e.ID, out[:80])
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("E1"); !ok {
+		t.Fatal("E1 not found")
+	}
+	if _, ok := Find("e1"); !ok {
+		t.Fatal("case-insensitive lookup broken")
+	}
+	if _, ok := Find("ZZ"); ok {
+		t.Fatal("phantom experiment found")
+	}
+	if len(All()) != 23 {
+		t.Fatalf("experiment count = %d, DESIGN.md lists 23", len(All()))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow(1.5, "x")
+	tbl.AddRow(0.00012, 3)
+	tbl.AddRow(1234567.0, true)
+	tbl.Note("hello %d", 42)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"1.50", "0.0001", "1.23e+06", "hello 42", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleSizes(t *testing.T) {
+	q, f := []int{1}, []int{2}
+	if Quick.sizes(q, f)[0] != 1 || Full.sizes(q, f)[0] != 2 {
+		t.Fatal("Scale.sizes broken")
+	}
+}
+
+func TestTimeOpPositive(t *testing.T) {
+	ns := timeOp(10, func() {})
+	if ns < 0 {
+		t.Fatal("negative duration")
+	}
+	if timeOp(0, func() {}) < 0 {
+		t.Fatal("iters clamp broken")
+	}
+}

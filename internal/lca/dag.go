@@ -1,0 +1,152 @@
+package lca
+
+import "fmt"
+
+// DAG answers constant-time representative-LCA queries on a directed
+// acyclic graph after O(n³) preprocessing, following the paper's statement
+// of §4(4): "G can be preprocessed by computing LCA for all pairs of nodes
+// in O(|G|³) time; then given any nodes (u,v), LCA(u,v) can be found in
+// O(1) time."
+//
+// In a DAG an LCA is any common ancestor w of u and v such that no
+// descendant of w is also a common ancestor. LCAs are not unique; this
+// structure returns the representative that appears last in topological
+// order (the "deepest" one), which is a valid LCA because any candidate
+// appearing later in topological order cannot be its ancestor.
+type DAG struct {
+	n     int
+	table []int32 // n×n, -1 when no common ancestor exists
+}
+
+// NewDAG preprocesses the DAG given by its adjacency lists (edge u→v means
+// u is a parent of v). It returns an error if the graph has a cycle.
+func NewDAG(adj [][]int) (*DAG, error) {
+	n := len(adj)
+	topo, err := topoOrder(adj)
+	if err != nil {
+		return nil, err
+	}
+	// Reachability closure as bitsets: reach[w] ∋ x iff w = x or w →* x.
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+		reach[i][i/64] |= 1 << (i % 64)
+	}
+	// Process in reverse topological order so children are complete first.
+	for i := n - 1; i >= 0; i-- {
+		w := topo[i]
+		for _, c := range adj[w] {
+			for k, bits := range reach[c] {
+				reach[w][k] |= bits
+			}
+		}
+	}
+	d := &DAG{n: n, table: make([]int32, n*n)}
+	// For each pair, scan candidates in reverse topological order; the
+	// first common ancestor found has no common-ancestor descendant, since
+	// descendants come strictly later in topological order.
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			best := int32(-1)
+			for i := n - 1; i >= 0; i-- {
+				w := topo[i]
+				if reach[w][u/64]&(1<<(u%64)) != 0 && reach[w][v/64]&(1<<(v%64)) != 0 {
+					best = int32(w)
+					break
+				}
+			}
+			d.table[u*n+v] = best
+			d.table[v*n+u] = best
+		}
+	}
+	return d, nil
+}
+
+// topoOrder returns a topological order via Kahn's algorithm, or an error
+// if the graph is cyclic.
+func topoOrder(adj [][]int) ([]int, error) {
+	n := len(adj)
+	indeg := make([]int, n)
+	for u, outs := range adj {
+		for _, v := range outs {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("lca: edge %d→%d out of range", u, v)
+			}
+			indeg[v]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("lca: graph has a cycle; %d of %d nodes ordered", len(order), n)
+	}
+	return order, nil
+}
+
+// Len reports the number of nodes.
+func (d *DAG) Len() int { return d.n }
+
+// LCA returns a representative lowest common ancestor of u and v, or ok =
+// false when the pair has no common ancestor.
+func (d *DAG) LCA(u, v int) (w int, ok bool, err error) {
+	if u < 0 || u >= d.n || v < 0 || v >= d.n {
+		return 0, false, fmt.Errorf("lca: query (%d,%d) out of range [0,%d)", u, v, d.n)
+	}
+	got := d.table[u*d.n+v]
+	return int(got), got >= 0, nil
+}
+
+// NaiveDAGLCA recomputes one representative LCA from scratch — the
+// no-preprocessing baseline: O(|V|·|E|) per query. It returns the same
+// representative as DAG.LCA (last common ancestor in topological order).
+func NaiveDAGLCA(adj [][]int, u, v int) (int, bool, error) {
+	n := len(adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, false, fmt.Errorf("lca: query (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	topo, err := topoOrder(adj)
+	if err != nil {
+		return 0, false, err
+	}
+	reachesFrom := func(w int) []bool {
+		seen := make([]bool, n)
+		stack := []int{w}
+		seen[w] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		return seen
+	}
+	for i := n - 1; i >= 0; i-- {
+		w := topo[i]
+		r := reachesFrom(w)
+		if r[u] && r[v] {
+			return w, true, nil
+		}
+	}
+	return 0, false, nil
+}

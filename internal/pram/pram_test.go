@@ -1,0 +1,269 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStepSynchronousSemantics(t *testing.T) {
+	// A parallel swap only works if reads see the pre-round image.
+	m := New(2, WithConflictDetection())
+	m.Store(0, 7)
+	m.Store(1, 9)
+	if err := m.Step(2, func(c Ctx) {
+		c.Store(c.Proc(), c.Load(1-c.Proc()))
+	}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if m.Load(0) != 9 || m.Load(1) != 7 {
+		t.Fatalf("swap failed: got %d,%d", m.Load(0), m.Load(1))
+	}
+}
+
+func TestStepCountsCost(t *testing.T) {
+	m := New(8)
+	for i := 0; i < 3; i++ {
+		m.MustStep(4, func(Ctx) {})
+	}
+	got := m.Cost()
+	if got.Rounds != 3 || got.Work != 12 {
+		t.Fatalf("cost = %+v, want rounds=3 work=12", got)
+	}
+	m.ResetCost()
+	if c := m.Cost(); c.Rounds != 0 || c.Work != 0 {
+		t.Fatalf("after reset cost = %+v", c)
+	}
+}
+
+func TestStepRejectsNonPositiveProcs(t *testing.T) {
+	m := New(1)
+	if err := m.Step(0, func(Ctx) {}); err == nil {
+		t.Fatal("Step(0) succeeded, want error")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	m := New(1, WithConflictDetection())
+	err := m.Step(2, func(c Ctx) { c.Store(0, int64(c.Proc())) })
+	if err != ErrWriteConflict {
+		t.Fatalf("err = %v, want ErrWriteConflict", err)
+	}
+	// Same processor rewriting a cell is legal (last write wins).
+	if err := m.Step(1, func(c Ctx) {
+		c.Store(0, 1)
+		c.Store(0, 2)
+	}); err != nil {
+		t.Fatalf("single-proc rewrite: %v", err)
+	}
+	if m.Load(0) != 2 {
+		t.Fatalf("last write should win, got %d", m.Load(0))
+	}
+}
+
+func TestGrowPreservesContents(t *testing.T) {
+	m := New(2)
+	m.Store(1, 5)
+	m.Grow(10)
+	if m.Size() != 10 || m.Load(1) != 5 {
+		t.Fatalf("grow lost data: size=%d cell=%d", m.Size(), m.Load(1))
+	}
+	m.Grow(4) // shrinking request is a no-op
+	if m.Size() != 10 {
+		t.Fatalf("grow shrank memory to %d", m.Size())
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	vals := []int64{3, -1, 4, 1, 5, 9, 2, 6, 5}
+	if got := ReduceMax(New(1, WithConflictDetection()), vals); got != 9 {
+		t.Errorf("ReduceMax = %d, want 9", got)
+	}
+	if got := ReduceSum(New(1, WithConflictDetection()), vals); got != 34 {
+		t.Errorf("ReduceSum = %d, want 34", got)
+	}
+	if !ReduceOr(New(1), []int64{0, 0, 2}) {
+		t.Error("ReduceOr missed a true")
+	}
+	if ReduceOr(New(1), []int64{0, 0, 0}) {
+		t.Error("ReduceOr fabricated a true")
+	}
+	if got := ReduceSum(New(1), nil); got != 0 {
+		t.Errorf("empty ReduceSum = %d", got)
+	}
+}
+
+func TestReduceRoundsLogarithmic(t *testing.T) {
+	for _, n := range []int{2, 16, 1024, 4096} {
+		m := New(1)
+		vals := make([]int64, n)
+		ReduceSum(m, vals)
+		want := ceilLog2(n)
+		if got := m.Cost().Rounds; got != want {
+			t.Errorf("n=%d rounds=%d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPrefixSumMatchesSequential(t *testing.T) {
+	f := func(raw []int16) bool {
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		got := PrefixSum(New(1, WithConflictDetection()), vals)
+		sum := int64(0)
+		for i, v := range vals {
+			sum += v
+			if got[i] != sum {
+				return false
+			}
+		}
+		return len(got) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerJumpFindsRoots(t *testing.T) {
+	// Build a random forest and check every node resolves to its true root.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		parent := make([]int, n)
+		for i := range parent {
+			if i == 0 || rng.Intn(4) == 0 {
+				parent[i] = i // root
+			} else {
+				parent[i] = rng.Intn(i) // parent strictly earlier: acyclic
+			}
+		}
+		want := make([]int, n)
+		for i := range want {
+			r := i
+			for parent[r] != r {
+				r = parent[r]
+			}
+			want[i] = r
+		}
+		got := PointerJump(New(1), parent)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d node %d: root %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSearchSorted(t *testing.T) {
+	sorted := []int64{1, 3, 5, 7, 9, 11}
+	for _, k := range sorted {
+		if !SearchSorted(New(1), sorted, k) {
+			t.Errorf("missing key %d", k)
+		}
+	}
+	for _, k := range []int64{0, 2, 12} {
+		if SearchSorted(New(1), sorted, k) {
+			t.Errorf("phantom key %d", k)
+		}
+	}
+	if SearchSorted(New(1), nil, 1) {
+		t.Error("found key in empty slice")
+	}
+}
+
+func TestSearchSortedRoundsLogarithmic(t *testing.T) {
+	prev := 0
+	for _, n := range []int{1 << 6, 1 << 10, 1 << 14} {
+		sorted := make([]int64, n)
+		for i := range sorted {
+			sorted[i] = int64(2 * i)
+		}
+		m := New(1)
+		SearchSorted(m, sorted, int64(n)) // present
+		r := m.Cost().Rounds
+		if r > 2*ceilLog2(n)+2 {
+			t.Errorf("n=%d rounds=%d exceeds O(log n) bound", n, r)
+		}
+		if r < prev {
+			t.Errorf("rounds decreased with n: %d -> %d", prev, r)
+		}
+		prev = r
+	}
+}
+
+func randMatrix(rng *rand.Rand, n int, density float64) *BoolMatrix {
+	a := NewBoolMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				a.Set(i, j, true)
+			}
+		}
+	}
+	return a
+}
+
+func TestTransitiveClosureMatchesWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(24)
+		adj := randMatrix(rng, n, 0.15)
+		want := WarshallClosure(adj)
+		got := TransitiveClosure(New(1), adj)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d (n=%d): PRAM closure differs from Warshall", trial, n)
+		}
+	}
+}
+
+func TestTransitiveClosureRoundsPolylog(t *testing.T) {
+	// Rounds should scale like log²(n): for n=64 expect far fewer rounds
+	// than n, and roughly (log 64 / log 8)² ≈ 4x the rounds of n=8.
+	rounds := func(n int) int {
+		m := New(1)
+		adj := NewBoolMatrix(n)
+		for i := 0; i+1 < n; i++ {
+			adj.Set(i, i+1, true) // a path: worst-case diameter
+		}
+		TransitiveClosure(m, adj)
+		return m.Cost().Rounds
+	}
+	r8, r64 := rounds(8), rounds(64)
+	if r64 >= 64 {
+		t.Errorf("closure of n=64 took %d rounds; not polylog", r64)
+	}
+	if r64 > 8*r8 {
+		t.Errorf("round growth 8→64 is %dx (r8=%d r64=%d); exceeds polylog scaling", r64/r8, r8, r64)
+	}
+}
+
+func TestBoolMatrixHelpers(t *testing.T) {
+	a := NewBoolMatrix(2)
+	a.Set(0, 1, true)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(1, 0, true)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Equal(NewBoolMatrix(3)) {
+		t.Fatal("matrices of different size compared equal")
+	}
+	if TransitiveClosure(New(1), NewBoolMatrix(0)).N != 0 {
+		t.Fatal("empty closure should be empty")
+	}
+}
+
+func TestCostAddAndString(t *testing.T) {
+	c := Cost{Rounds: 2, Work: 10}.Add(Cost{Rounds: 3, Work: 5})
+	if c.Rounds != 5 || c.Work != 15 {
+		t.Fatalf("Add = %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+}

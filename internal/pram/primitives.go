@@ -1,0 +1,155 @@
+package pram
+
+// This file implements the textbook NC building blocks used by the rest of
+// the repository: parallel reductions, prefix sums, pointer jumping and
+// parallel binary search. Each primitive documents its round complexity;
+// tests assert that the measured rounds match.
+
+// ceilLog2 returns ⌈log2(n)⌉ for n ≥ 1, and 0 for n ≤ 1.
+func ceilLog2(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}
+
+// ReduceOr computes the logical OR of vals (non-zero meaning true) in
+// ⌈log2 n⌉ rounds with ⌈n/2⌉ processors per round.
+func ReduceOr(m *Machine, vals []int64) bool {
+	return reduce(m, vals, func(a, b int64) int64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	}) != 0
+}
+
+// ReduceMax computes the maximum of vals in ⌈log2 n⌉ rounds.
+func ReduceMax(m *Machine, vals []int64) int64 {
+	return reduce(m, vals, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// ReduceSum computes the sum of vals in ⌈log2 n⌉ rounds.
+func ReduceSum(m *Machine, vals []int64) int64 {
+	return reduce(m, vals, func(a, b int64) int64 { return a + b })
+}
+
+// reduce folds vals with an associative operator using a binary tree of
+// rounds. It lays the values out in machine memory starting at cell 0,
+// growing memory as needed.
+func reduce(m *Machine, vals []int64, op func(a, b int64) int64) int64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	m.Grow(n)
+	m.StoreSlice(0, vals)
+	for width := n; width > 1; width = (width + 1) / 2 {
+		half := (width + 1) / 2
+		m.MustStep(half, func(c Ctx) {
+			p := c.Proc()
+			lo := c.Load(p)
+			hiIdx := p + half
+			if hiIdx < width {
+				c.Store(p, op(lo, c.Load(hiIdx)))
+			} else {
+				c.Store(p, lo)
+			}
+		})
+	}
+	return m.Load(0)
+}
+
+// PrefixSum returns the inclusive prefix sums of vals, computed with the
+// Hillis–Steele scan: ⌈log2 n⌉ rounds, n processors per round.
+func PrefixSum(m *Machine, vals []int64) []int64 {
+	n := len(vals)
+	if n == 0 {
+		return nil
+	}
+	// Double-buffer in machine memory: cells [0,n) and [n,2n).
+	m.Grow(2 * n)
+	m.StoreSlice(0, vals)
+	src, dst := 0, n
+	for stride := 1; stride < n; stride <<= 1 {
+		s := stride // capture loop variable for the kernel
+		from, to := src, dst
+		m.MustStep(n, func(c Ctx) {
+			p := c.Proc()
+			v := c.Load(from + p)
+			if p >= s {
+				v += c.Load(from + p - s)
+			}
+			c.Store(to+p, v)
+		})
+		src, dst = dst, src
+	}
+	return m.LoadSlice(src, n)
+}
+
+// PointerJump resolves, for every node i of a forest given by parent
+// pointers (parent[i] == i marks a root), the root of i's tree. It uses the
+// classic pointer-jumping technique: ⌈log2 n⌉ rounds, n processors.
+func PointerJump(m *Machine, parent []int) []int {
+	n := len(parent)
+	if n == 0 {
+		return nil
+	}
+	m.Grow(n)
+	for i, p := range parent {
+		m.Store(i, int64(p))
+	}
+	for r := 0; r < ceilLog2(n)+1; r++ {
+		m.MustStep(n, func(c Ctx) {
+			p := c.Proc()
+			next := c.Load(int(c.Load(p)))
+			c.Store(p, next)
+		})
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(m.Load(i))
+	}
+	return out
+}
+
+// SearchSorted locates key in the ascending slice sorted, one probe per
+// round with a single processor, i.e. O(log n) parallel time. It returns
+// whether the key is present. It exercises exactly the access pattern the
+// paper attributes to index lookups after preprocessing (Example 1).
+func SearchSorted(m *Machine, sorted []int64, key int64) bool {
+	n := len(sorted)
+	m.Grow(n + 3)
+	m.StoreSlice(0, sorted)
+	loCell, hiCell, foundCell := n, n+1, n+2
+	m.Store(loCell, 0)
+	m.Store(hiCell, int64(n))
+	m.Store(foundCell, 0)
+	for r := 0; r <= ceilLog2(n+1); r++ {
+		m.MustStep(1, func(c Ctx) {
+			lo, hi := c.Load(loCell), c.Load(hiCell)
+			if lo >= hi {
+				return
+			}
+			mid := (lo + hi) / 2
+			v := c.Load(int(mid))
+			switch {
+			case v == key:
+				c.Store(foundCell, 1)
+				c.Store(loCell, hi) // terminate
+			case v < key:
+				c.Store(loCell, mid+1)
+			default:
+				c.Store(hiCell, mid)
+			}
+		})
+	}
+	return m.Load(foundCell) != 0
+}

@@ -1,0 +1,48 @@
+package pram
+
+// Batcher's bitonic sorting network on the CREW PRAM: O(log² n) rounds
+// with n/2 comparators per round. It matters to the paper's Justification
+// (1): "If we choose NC [for preprocessing], then ΠT⁰Q coincides with NC."
+// The §4(2) preprocessing (sort the list) is exactly such a case — the
+// network shows the preprocessing itself is in NC, so list membership is
+// not just Π-tractable but NC end-to-end.
+
+// BitonicSort sorts vals ascending on the machine and returns the sorted
+// copy. The input length is padded internally to a power of two with +∞
+// sentinels; rounds consumed are O(log² n).
+func BitonicSort(m *Machine, vals []int64) []int64 {
+	n := len(vals)
+	if n <= 1 {
+		return append([]int64(nil), vals...)
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	const inf = int64(^uint64(0) >> 1) // MaxInt64 sentinel
+	m.Grow(size)
+	m.StoreSlice(0, vals)
+	for i := n; i < size; i++ {
+		m.Store(i, inf)
+	}
+	// Standard bitonic network: stages k = 2,4,…,size; passes j = k/2,…,1.
+	for k := 2; k <= size; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			kk, jj := k, j
+			m.MustStep(size/2, func(c Ctx) {
+				// Processor p handles the p-th comparator: recover the
+				// element index i with bit jj clear.
+				p := c.Proc()
+				i := (p/jj)*(jj*2) + p%jj
+				l := i ^ jj
+				a, b := c.Load(i), c.Load(l)
+				ascending := i&kk == 0
+				if (a > b) == ascending {
+					c.Store(i, b)
+					c.Store(l, a)
+				}
+			})
+		}
+	}
+	return m.LoadSlice(0, n)
+}

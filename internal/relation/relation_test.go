@@ -1,0 +1,209 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Error("empty schema name accepted")
+	}
+	if _, err := NewSchema("r", Attr{Name: "", Kind: KindInt64}); err == nil {
+		t.Error("unnamed attribute accepted")
+	}
+	if _, err := NewSchema("r", Attr{Name: "a"}, Attr{Name: "a"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewSchema("r", Attr{Name: "a"}, Attr{Name: "b"}); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic on invalid schema")
+		}
+	}()
+	MustSchema("")
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := New(MustSchema("r", Attr{Name: "k", Kind: KindInt64}, Attr{Name: "s", Kind: KindString}))
+	if err := r.Append(Tuple{Int(1)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := r.Append(Tuple{Str("x"), Str("y")}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if err := r.Append(Tuple{Int(1), Str("y")}); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestValueOrderingAndString(t *testing.T) {
+	if !Int(1).Less(Int(2)) || Int(2).Less(Int(1)) {
+		t.Error("int ordering broken")
+	}
+	if !Str("a").Less(Str("b")) {
+		t.Error("string ordering broken")
+	}
+	if !Int(99).Less(Str("")) {
+		t.Error("cross-kind ordering should put ints first")
+	}
+	if Int(3).String() != "3" || Str("x").String() != `"x"` {
+		t.Error("String rendering broken")
+	}
+	if KindInt64.String() != "int64" || KindString.String() != "string" || Kind(9).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestScanPointSelect(t *testing.T) {
+	r := Generate(GenConfig{Rows: 500, Seed: 1, KeyMax: 100})
+	// Key 'k' present iff some tuple has it; compare with manual scan.
+	col, err := r.Column("key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[int64]bool{}
+	for _, v := range col {
+		present[v.I] = true
+	}
+	for k := int64(0); k < 100; k++ {
+		got, err := r.ScanPointSelect("key", Int(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != present[k] {
+			t.Fatalf("key %d: scan=%v want %v", k, got, present[k])
+		}
+	}
+	if _, err := r.ScanPointSelect("nope", Int(0)); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := r.Column("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestScanRangeSelect(t *testing.T) {
+	r := New(MustSchema("r", Attr{Name: "k", Kind: KindInt64}))
+	for _, v := range []int64{10, 20, 30} {
+		r.MustAppend(Tuple{Int(v)})
+	}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 5, false}, {0, 10, true}, {10, 10, true}, {11, 19, false},
+		{15, 25, true}, {31, 99, false}, {0, 99, true},
+	}
+	for _, c := range cases {
+		got, err := r.ScanRangeSelect("k", Int(c.lo), Int(c.hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("range [%d,%d]: got %v want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if _, err := r.ScanRangeSelect("nope", Int(0), Int(1)); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestSortedInts(t *testing.T) {
+	r := New(MustSchema("r", Attr{Name: "k", Kind: KindInt64}, Attr{Name: "s", Kind: KindString}))
+	for _, v := range []int64{5, 3, 5, 1, 3} {
+		r.MustAppend(Tuple{Int(v), Str("p")})
+	}
+	got, err := r.SortedInts("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{1, 3, 5}) {
+		t.Fatalf("SortedInts = %v", got)
+	}
+	if _, err := r.SortedInts("s"); err == nil {
+		t.Error("SortedInts on string column accepted")
+	}
+	if _, err := r.SortedInts("nope"); err == nil {
+		t.Error("SortedInts on missing column accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		r := Generate(GenConfig{Rows: rng.Intn(200), Seed: int64(trial), KeyMax: 50, Payload: 1 + rng.Intn(12)})
+		back, err := Decode(r.Encode())
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(keys []int64, payloads []string) bool {
+		r := New(MustSchema("q", Attr{Name: "k", Kind: KindInt64}, Attr{Name: "p", Kind: KindString}))
+		for i, k := range keys {
+			p := ""
+			if i < len(payloads) {
+				p = payloads[i]
+			}
+			r.MustAppend(Tuple{Int(k), Str(p)})
+		}
+		back, err := Decode(r.Encode())
+		return err == nil && reflect.DeepEqual(r, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	r := Generate(GenConfig{Rows: 10, Seed: 3})
+	enc := r.Encode()
+	cases := [][]byte{
+		nil,
+		enc[:len(enc)/2],                     // truncated
+		append(enc[:0:0], append(enc, 0)...), // trailing byte
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: corrupt input decoded", i)
+		}
+	}
+	// Unknown kind byte in attribute table.
+	bad := append([]byte{}, enc...)
+	// Find the first attribute kind byte: name "synthetic"(1+9 bytes) +
+	// attr count(1) + "key"(1+3) => kind at offset 15.
+	bad[15] = 0x7f
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown attribute kind decoded")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	r := Generate(GenConfig{Rows: 10, Seed: 1})
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r2 := Generate(GenConfig{Rows: 10, Seed: 1})
+	if !reflect.DeepEqual(r, r2) {
+		t.Fatal("generation is not deterministic for equal seeds")
+	}
+	if Generate(GenConfig{Rows: 0, Seed: 1}).Len() != 0 {
+		t.Fatal("empty generation broken")
+	}
+}

@@ -1,0 +1,89 @@
+package scanmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperNumbersReproduced(t *testing.T) {
+	// §1: 1 PB at 6 GB/s = 166,666 seconds ≈ 46 hours ≈ 1.9 days.
+	d := PaperSSD()
+	sec := d.ScanSeconds(1 * PB)
+	if math.Abs(sec-166666.0) > 1.0 {
+		t.Fatalf("1PB scan = %.1f s, paper says 166,666 s", sec)
+	}
+	if h := sec / 3600; math.Abs(h-46.3) > 0.2 {
+		t.Fatalf("1PB scan = %.1f h, paper says 46 h", h)
+	}
+	if days := sec / 86400; math.Abs(days-1.9) > 0.05 {
+		t.Fatalf("1PB scan = %.2f days, paper says 1.9 days", days)
+	}
+}
+
+func TestIndexedAccessIsSeconds(t *testing.T) {
+	// The paper: "we can get the results in seconds with the indices
+	// rather than 1.9 days". The modelled indexed lookup over 1 PB must be
+	// far below one second of probe time.
+	d := PaperSSD()
+	sec := d.IndexedSeconds(1*PB, 100, 64)
+	if sec >= 1.0 {
+		t.Fatalf("indexed access over 1PB = %.3f s, want < 1 s", sec)
+	}
+	if sec <= 0 {
+		t.Fatal("indexed access cost vanished")
+	}
+	// Tiny datasets cost one probe.
+	if got := d.IndexedSeconds(50, 100, 64); got != d.ProbeSeconds {
+		t.Fatalf("tiny dataset probe = %v", got)
+	}
+}
+
+func TestIndexedGrowsLogarithmically(t *testing.T) {
+	d := PaperSSD()
+	t1 := d.IndexedSeconds(1*GB, 100, 64)
+	t2 := d.IndexedSeconds(1*PB, 100, 64)
+	// A million-fold data increase must cost only a constant factor more.
+	if t2 > 3*t1 {
+		t.Fatalf("indexed cost grew %0.1fx across 10^6x data", t2/t1)
+	}
+	scanRatio := d.ScanSeconds(1*PB) / d.ScanSeconds(1*GB)
+	if math.Abs(scanRatio-1e6) > 1 {
+		t.Fatalf("scan cost should grow linearly, ratio %.0f", scanRatio)
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	rows := Table(PaperSSD(), 100, 64)
+	if len(rows) != 4 {
+		t.Fatalf("table has %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ScanSeconds <= rows[i-1].ScanSeconds {
+			t.Fatal("scan column not increasing")
+		}
+		if rows[i].IndexedSeconds < rows[i-1].IndexedSeconds {
+			t.Fatal("indexed column decreasing")
+		}
+	}
+	last := rows[len(rows)-1]
+	// 166,666 s renders as hours — the paper's own "46 hours".
+	if last.Label != "1PB" || !strings.HasSuffix(last.ScanHuman, "h") {
+		t.Fatalf("1PB row renders as %q", last.ScanHuman)
+	}
+}
+
+func TestHumanDuration(t *testing.T) {
+	cases := map[float64]string{
+		0.5:    "500.0ms",
+		30:     "30.0s",
+		600:    "10.0min",
+		7200:   "2.0h",
+		200000: "2.3d",
+	}
+	for sec, want := range cases {
+		if got := HumanDuration(sec); got != want {
+			t.Errorf("HumanDuration(%v) = %q, want %q", sec, got, want)
+		}
+	}
+}

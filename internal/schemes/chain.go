@@ -1,0 +1,152 @@
+package schemes
+
+// The Theorem 5 / Corollary 6 chain, assembled from the framework pieces:
+// an arbitrary member of P (here: a clocked Turing machine) reduces via the
+// Cook–Levin circuit to BDS, the ΠTP-complete problem, and Π-tractability
+// of BDS transports back along the reduction (Lemma 3). Everything below is
+// checked by tests against direct TM simulation.
+
+import (
+	"fmt"
+	"sync"
+
+	"pitract/internal/circuit"
+	"pitract/internal/core"
+	"pitract/internal/tm"
+)
+
+// decodeBits parses an instance of a TM problem: one byte per input bit.
+func decodeBits(x []byte) ([]bool, error) {
+	in := make([]bool, len(x))
+	for i, b := range x {
+		switch b {
+		case 0:
+		case 1:
+			in[i] = true
+		default:
+			return nil, fmt.Errorf("schemes: instance byte %d is %d, want 0/1", i, b)
+		}
+	}
+	return in, nil
+}
+
+// EncodeBits renders a binary input as a TM problem instance.
+func EncodeBits(in []bool) []byte {
+	x := make([]byte, len(in))
+	for i, b := range in {
+		if b {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// TMProblem wraps a clocked machine as the decision problem
+// L = {x | the machine accepts x within its clock}.
+func TMProblem(cm tm.Clocked) *core.Problem {
+	return &core.Problem{
+		ProblemName: "L(" + cm.M.Name + ")",
+		Member: func(x []byte) (bool, error) {
+			in, err := decodeBits(x)
+			if err != nil {
+				return false, err
+			}
+			res := cm.M.Run(in, cm.Bound(len(in)))
+			if !res.Halted {
+				return false, fmt.Errorf("schemes: %s did not halt within its clock", cm.M.Name)
+			}
+			return res.Accepted, nil
+		},
+	}
+}
+
+// compileCache memoizes tableau compilation per (machine, input length):
+// the circuit depends only on the length, so α and β — which both derive
+// their half of h(x) from the full instance — share one compilation.
+type compileCache struct {
+	cm tm.Clocked
+	mu sync.Mutex
+	by map[int]*circuit.Circuit
+}
+
+func newCompileCache(cm tm.Clocked) *compileCache {
+	return &compileCache{cm: cm, by: make(map[int]*circuit.Circuit)}
+}
+
+func (c *compileCache) get(n int) (*circuit.Circuit, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if circ, ok := c.by[n]; ok {
+		return circ, nil
+	}
+	circ, err := c.cm.Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	// Optimization folds the tableau's constant wires (blank cells, absent
+	// heads) — a large shrink that leaves the function untouched.
+	opt, err := circuit.Optimize(circ)
+	if err != nil {
+		return nil, err
+	}
+	c.by[n] = opt
+	return opt, nil
+}
+
+// hToBDS is the many-one map h: machine input → BDS instance, composed of
+// the Cook–Levin compilation and the circuit→BDS reduction.
+func hToBDS(cache *compileCache, x []byte) (*circuit.BDSInstance, error) {
+	in, err := decodeBits(x)
+	if err != nil {
+		return nil, err
+	}
+	circ, err := cache.get(len(in))
+	if err != nil {
+		return nil, err
+	}
+	return circuit.ReduceInstanceToBDS(&circuit.Instance{Circuit: circ, Inputs: in})
+}
+
+// TMToBDSReduction packages the Theorem 5 reduction L(machine) ≤ BDS as a
+// FactorReduction: the source uses the identity factorization from the
+// theorem's proof (π1(x) = π2(x) = x), the target is (BDS, Υ_BDS), and α/β
+// each derive their half of h(x) from the full instance.
+func TMToBDSReduction(cm tm.Clocked) *core.FactorReduction {
+	cache := newCompileCache(cm)
+	return &core.FactorReduction{
+		From: TMProblem(cm),
+		To:   BDSProblem(),
+		F1:   core.IdentityFactorization(),
+		F2:   BDSFactorization(),
+		Map: core.Reduction{
+			RedName: "h(" + cm.M.Name + "→CVP→BDS)",
+			Alpha: func(d []byte) ([]byte, error) {
+				inst, err := hToBDS(cache, d)
+				if err != nil {
+					return nil, err
+				}
+				return inst.G.Encode(), nil
+			},
+			Beta: func(q []byte) ([]byte, error) {
+				inst, err := hToBDS(cache, q)
+				if err != nil {
+					return nil, err
+				}
+				return NodePairQuery(inst.U, inst.V), nil
+			},
+		},
+	}
+}
+
+// TMSchemeViaBDS transports BDS's Π-tractability scheme back along the
+// reduction (Lemma 3), yielding a scheme that decides the machine's
+// language: preprocess Π(α(x)), answer with β(x) against the visit-order
+// index.
+func TMSchemeViaBDS(cm tm.Clocked) *core.Scheme {
+	red := TMToBDSReduction(cm)
+	return core.TransportScheme(&core.Reduction{
+		RedName: red.Map.RedName,
+		Alpha:   red.Map.Alpha,
+		Beta:    red.Map.Beta,
+	}, BDSScheme())
+}

@@ -1,0 +1,226 @@
+package schemes
+
+import (
+	"math/rand"
+	"testing"
+
+	"pitract/internal/core"
+	"pitract/internal/graph"
+	"pitract/internal/relation"
+	"pitract/internal/views"
+)
+
+func TestRMQFuncScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scheme := RMQFuncScheme()
+	lang := RMQFuncLanguage()
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(32) - 16 // negatives and ties
+		}
+		d := EncodeList(a)
+		var pairs []core.Pair
+		for q := 0; q < 40; q++ {
+			i := rng.Intn(n)
+			j := i + rng.Intn(n-i)
+			pairs = append(pairs, core.Pair{D: d, Q: RangeQueryIJ(i, j)})
+		}
+		if err := scheme.VerifyAgainst(lang, pairs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	// Bad queries error.
+	d := EncodeList([]int64{1, 2, 3})
+	pd, err := scheme.Preprocess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scheme.Apply(pd, RangeQueryIJ(2, 1)); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := scheme.Apply(pd, RangeQueryIJ(0, 5)); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := scheme.Preprocess(EncodeList(nil)); err == nil {
+		t.Error("empty array accepted")
+	}
+}
+
+func TestRMQFuncSchemeDecisionForm(t *testing.T) {
+	// The search-to-decision conversion: "is position p the RMQ answer?"
+	a := []int64{5, 1, 3, 1}
+	d := EncodeList(a)
+	dec := RMQFuncScheme().Decision()
+	pd, err := dec.Preprocess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := dec.Answer(pd, core.PadPair(RangeQueryIJ(0, 3), core.EncodeUint64(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, err := dec.Answer(pd, core.PadPair(RangeQueryIJ(0, 3), core.EncodeUint64(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes || no {
+		t.Fatalf("decision form: yes=%v no=%v", yes, no)
+	}
+}
+
+func TestLCAFuncScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	scheme := LCAFuncScheme()
+	lang := LCAFuncLanguage()
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(25)
+		g := graph.RandomDAG(n, 3*n, int64(trial))
+		d := g.Encode()
+		var pairs []core.Pair
+		for q := 0; q < 30; q++ {
+			pairs = append(pairs, core.Pair{D: d, Q: NodePairQuery(rng.Intn(n), rng.Intn(n))})
+		}
+		if err := scheme.VerifyAgainst(lang, pairs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	// Cyclic graphs are rejected at preprocessing.
+	cyc := graph.New(2, true)
+	cyc.MustAddEdge(0, 1)
+	cyc.MustAddEdge(1, 0)
+	if _, err := scheme.Preprocess(cyc.Encode()); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	// Out-of-range queries error.
+	g := graph.Path(3, true)
+	pd, err := scheme.Preprocess(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scheme.Apply(pd, NodePairQuery(0, 9)); err == nil {
+		t.Error("out-of-range LCA query accepted")
+	}
+}
+
+func TestViewRewritingScheme(t *testing.T) {
+	rel := relation.Generate(relation.GenConfig{Rows: 800, Seed: 9, KeyMax: 1000})
+	d := rel.Encode()
+	defs := views.EvenPartition("key", 0, 999, 5)
+	scheme := ViewRewritingScheme(defs)
+	lang := SelectionLanguage()
+	rng := rand.New(rand.NewSource(10))
+	var pairs []core.Pair
+	for q := 0; q < 120; q++ {
+		pairs = append(pairs, core.Pair{D: d, Q: PointQuery(rng.Int63n(1000))})
+	}
+	if err := scheme.VerifyAgainst(lang, pairs); err != nil {
+		t.Fatal(err)
+	}
+	// The flattened form behaves identically.
+	flat := scheme.Plain()
+	if err := flat.VerifyAgainst(lang, pairs); err != nil {
+		t.Fatal(err)
+	}
+	// Uncovered queries fail at λ — the paper's "answerable using views"
+	// precondition.
+	if _, err := scheme.Rewrite(PointQuery(5000)); err == nil {
+		t.Error("uncovered query rewritten")
+	}
+	// End-to-end Decide.
+	got, err := scheme.Decide(d, PointQuery(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := lang.Contains(d, PointQuery(500))
+	if got != want {
+		t.Fatal("Decide disagrees with language")
+	}
+}
+
+func TestIncrementalPointSelection(t *testing.T) {
+	rel := relation.Generate(relation.GenConfig{Rows: 300, Seed: 2, KeyMax: 400})
+	d := rel.Encode()
+	inc := IncrementalPointSelection()
+	rng := rand.New(rand.NewSource(3))
+	var deltas [][]byte
+	for step := 0; step < 5; step++ {
+		batch := make([]int64, 1+rng.Intn(8))
+		for i := range batch {
+			batch[i] = rng.Int63n(600)
+		}
+		deltas = append(deltas, KeysDelta(batch))
+	}
+	var probes [][]byte
+	for q := 0; q < 60; q++ {
+		probes = append(probes, PointQuery(rng.Int63n(700)))
+	}
+	if err := inc.VerifyIncremental(d, deltas, probes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalReachability(t *testing.T) {
+	g := graph.RandomDirected(40, 60, 4)
+	d := g.Encode()
+	inc := IncrementalReachability()
+	rng := rand.New(rand.NewSource(5))
+	var deltas [][]byte
+	used := map[[2]int]bool{}
+	for len(deltas) < 10 {
+		u, v := rng.Intn(40), rng.Intn(40)
+		if u == v || used[[2]int{u, v}] {
+			continue
+		}
+		used[[2]int{u, v}] = true
+		deltas = append(deltas, EdgeDelta(u, v))
+	}
+	var probes [][]byte
+	for q := 0; q < 100; q++ {
+		probes = append(probes, NodePairQuery(rng.Intn(40), rng.Intn(40)))
+	}
+	if err := inc.VerifyIncremental(d, deltas, probes); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle-creating insertions are the hard case; force some.
+	gp := graph.Path(6, true)
+	var smallProbes [][]byte
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			smallProbes = append(smallProbes, NodePairQuery(u, v))
+		}
+	}
+	if err := inc.VerifyIncremental(gp.Encode(),
+		[][]byte{EdgeDelta(5, 0), EdgeDelta(3, 1)},
+		smallProbes); err != nil {
+		t.Fatal(err)
+	}
+	// Bad deltas error.
+	pd, err := inc.Scheme.Preprocess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.ApplyDelta(pd, EdgeDelta(0, 0)); err == nil {
+		t.Error("self-loop delta accepted")
+	}
+	if _, err := inc.ApplyDelta(pd, EdgeDelta(0, 99)); err == nil {
+		t.Error("out-of-range delta accepted")
+	}
+}
+
+func TestIncrementalRedundantEdgeNoChange(t *testing.T) {
+	g := graph.Path(4, true) // 0→1→2→3
+	inc := IncrementalReachability()
+	pd, err := inc.Scheme.Preprocess(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := inc.ApplyDelta(pd, EdgeDelta(0, 2)) // already implied
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(pd) {
+		t.Fatal("redundant edge changed the closure bytes")
+	}
+}

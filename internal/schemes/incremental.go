@@ -1,0 +1,160 @@
+package schemes
+
+// Incremental preprocessing (§1 justification (3); see
+// core.IncrementalScheme): maintain Π(D ⊕ ∆D) from Π(D) and ∆D instead of
+// re-preprocessing. Two instances:
+//
+//   - the sorted-key file of the point-selection scheme under tuple
+//     insertions (merge in O(|D| + |∆D|), versus O(|D| log |D|) re-sorting);
+//   - the reachability closure matrix under edge insertions (ancestor-row
+//     OR-ing, work proportional to the affected rows — the §4(7) bounded
+//     flavour).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pitract/internal/core"
+	"pitract/internal/graph"
+	"pitract/internal/relation"
+)
+
+// KeysDelta encodes an insertion batch of keys for the point-selection
+// scheme.
+func KeysDelta(keys []int64) []byte { return EncodeList(keys) }
+
+// IncrementalPointSelection returns the point-selection scheme extended
+// with merge-based maintenance of its sorted key file.
+func IncrementalPointSelection() *core.IncrementalScheme {
+	return &core.IncrementalScheme{
+		Scheme: PointSelectionScheme(),
+		ApplyDelta: func(pd, delta []byte) ([]byte, error) {
+			newKeys, err := DecodeList(delta)
+			if err != nil {
+				return nil, err
+			}
+			sorted := putSortedKeys(dedupSorted(newKeys))
+			// Merge two sorted fixed-width files, dropping duplicates.
+			out := make([]byte, 0, len(pd)+len(sorted))
+			i, j := 0, 0
+			for i < len(pd) && j < len(sorted) {
+				a := binary.BigEndian.Uint64(pd[i:])
+				b := binary.BigEndian.Uint64(sorted[j:])
+				switch {
+				case a < b:
+					out = append(out, pd[i:i+8]...)
+					i += 8
+				case b < a:
+					out = append(out, sorted[j:j+8]...)
+					j += 8
+				default:
+					out = append(out, pd[i:i+8]...)
+					i += 8
+					j += 8
+				}
+			}
+			out = append(out, pd[i:]...)
+			out = append(out, sorted[j:]...)
+			return out, nil
+		},
+		ApplyUpdate: func(d, delta []byte) ([]byte, error) {
+			rel, err := relation.Decode(d)
+			if err != nil {
+				return nil, err
+			}
+			newKeys, err := DecodeList(delta)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range newKeys {
+				if err := rel.Append(relation.Tuple{relation.Int(k), relation.Str("")}); err != nil {
+					return nil, err
+				}
+			}
+			return rel.Encode(), nil
+		},
+		DeltaNote: "O(|D|/8 + |∆D| log |∆D|) merge vs O(|D| log |D|) re-sort",
+	}
+}
+
+func dedupSorted(keys []int64) []int64 {
+	if len(keys) == 0 {
+		return keys
+	}
+	sorted := append([]int64(nil), keys...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; deltas are small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := sorted[:1]
+	for _, k := range sorted[1:] {
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// EdgeDelta encodes an edge insertion for the reachability scheme.
+func EdgeDelta(u, v int) []byte { return core.EncodeUint64(uint64(u), uint64(v)) }
+
+// IncrementalReachability returns the closure-matrix scheme extended with
+// §4(7)-style maintenance: inserting (u, v) ORs v's descendant row into
+// every ancestor row of u, touching only affected rows.
+func IncrementalReachability() *core.IncrementalScheme {
+	return &core.IncrementalScheme{
+		Scheme: ReachabilityScheme(),
+		ApplyDelta: func(pd, delta []byte) ([]byte, error) {
+			if len(pd) < 8 {
+				return nil, fmt.Errorf("schemes: corrupt closure header")
+			}
+			u, v, err := decodeNodePair(delta)
+			if err != nil {
+				return nil, err
+			}
+			n := int(binary.BigEndian.Uint64(pd))
+			if u < 0 || u >= n || v < 0 || v >= n || u == v {
+				return nil, fmt.Errorf("schemes: bad edge delta (%d,%d)", u, v)
+			}
+			out := append([]byte(nil), pd...)
+			bit := func(b []byte, r, c int) bool {
+				idx := r*n + c
+				return b[8+idx/8]&(1<<(idx%8)) != 0
+			}
+			setBit := func(b []byte, r, c int) {
+				idx := r*n + c
+				b[8+idx/8] |= 1 << (idx % 8)
+			}
+			if bit(out, u, v) {
+				return out, nil // already implied; |∆O| = 0
+			}
+			for a := 0; a < n; a++ {
+				if !bit(out, a, u) {
+					continue
+				}
+				for c := 0; c < n; c++ {
+					if bit(pd, v, c) {
+						setBit(out, a, c)
+					}
+				}
+			}
+			return out, nil
+		},
+		ApplyUpdate: func(d, delta []byte) ([]byte, error) {
+			g, err := graph.Decode(d)
+			if err != nil {
+				return nil, err
+			}
+			u, v, err := decodeNodePair(delta)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			return g.Encode(), nil
+		},
+		DeltaNote: "O(|ancestors(u)| · n/8) words vs O(n·(n+m)/8) recompute",
+	}
+}

@@ -1,0 +1,594 @@
+// Package schemes instantiates the paper's case studies as executable
+// Π-tractability witnesses over the core framework: each scheme is a PTIME
+// preprocessing function Π: Σ* → Σ* paired with an answering procedure that
+// reads the preprocessed string with random access in polylog (or constant)
+// time. Baseline schemes — correct but with polynomial-time answering — are
+// provided alongside, so experiments can measure the gap the paper is
+// about.
+//
+// Preprocessed byte formats are fixed-width so that answering really is
+// sublinear over the string (no per-query decode): sorted key files are
+// n×8-byte big-endian arrays, position files n×4-byte arrays, closures are
+// bitsets behind an 8-byte header.
+package schemes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pitract/internal/bds"
+	"pitract/internal/circuit"
+	"pitract/internal/core"
+	"pitract/internal/graph"
+	"pitract/internal/listsearch"
+	"pitract/internal/relation"
+)
+
+// --- shared fixed-width codecs ----------------------------------------------
+
+func putSortedKeys(keys []int64) []byte {
+	b := make([]byte, 8*len(keys))
+	for i, k := range keys {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(k)+(1<<63)) // order-preserving bias
+	}
+	return b
+}
+
+func sortedKeyAt(b []byte, i int) int64 {
+	return int64(binary.BigEndian.Uint64(b[i*8:]) - (1 << 63))
+}
+
+// searchSortedKeys locates the first index with key ≥ target, reading
+// O(log n) fixed-width records of the preprocessed string.
+func searchSortedKeys(b []byte, target int64) (idx int, found bool) {
+	n := len(b) / 8
+	idx = sort.Search(n, func(i int) bool { return sortedKeyAt(b, i) >= target })
+	return idx, idx < n && sortedKeyAt(b, idx) == target
+}
+
+// --- Example 1 / §4(1): point and range selection -----------------------------
+
+// PointQuery encodes the Boolean point-selection query (A, c) on the fixed
+// key attribute.
+func PointQuery(c int64) []byte { return core.EncodeUint64(uint64(c) + (1 << 63)) }
+
+func decodePointQuery(q []byte) (int64, error) {
+	vs, err := core.DecodeUint64(q, 1)
+	if err != nil {
+		return 0, err
+	}
+	return int64(vs[0] - (1 << 63)), nil
+}
+
+// RangeQuery encodes the Boolean range-selection query (A, [lo, hi]).
+func RangeQuery(lo, hi int64) []byte {
+	return core.EncodeUint64(uint64(lo)+(1<<63), uint64(hi)+(1<<63))
+}
+
+func decodeRangeQuery(q []byte) (lo, hi int64, err error) {
+	vs, err := core.DecodeUint64(q, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(vs[0] - (1 << 63)), int64(vs[1] - (1 << 63)), nil
+}
+
+// SelectionLanguage is S1 from Example 3: ⟨D, (A, c)⟩ with D a relation and
+// the answer "∃t ∈ D: t[key] = c", decided by the reference scan.
+func SelectionLanguage() core.Language {
+	return core.LanguageFunc{
+		LangName: "S1-point-selection",
+		Decide: func(d, q []byte) (bool, error) {
+			rel, err := relation.Decode(d)
+			if err != nil {
+				return false, err
+			}
+			c, err := decodePointQuery(q)
+			if err != nil {
+				return false, err
+			}
+			return rel.ScanPointSelect("key", relation.Int(c))
+		},
+	}
+}
+
+// PointSelectionScheme preprocesses the relation into a sorted key file and
+// answers point selections by binary search — Example 1's B⁺-tree access
+// path in string form: O(|D| log |D|) preprocessing, O(log |D|) answering.
+func PointSelectionScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "point-selection/sorted-keys",
+		Preprocess: func(d []byte) ([]byte, error) {
+			rel, err := relation.Decode(d)
+			if err != nil {
+				return nil, err
+			}
+			keys, err := rel.SortedInts("key")
+			if err != nil {
+				return nil, err
+			}
+			return putSortedKeys(keys), nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			c, err := decodePointQuery(q)
+			if err != nil {
+				return false, err
+			}
+			_, found := searchSortedKeys(pd, c)
+			return found, nil
+		},
+		PreprocessNote: "O(|D| log |D|)",
+		AnswerNote:     "O(log |D|)",
+	}
+}
+
+// PointSelectionScanScheme is the no-preprocessing baseline: Π is the
+// identity and every query scans D.
+func PointSelectionScanScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "point-selection/scan",
+		Preprocess: func(d []byte) ([]byte, error) { return d, nil },
+		Answer: func(pd, q []byte) (bool, error) {
+			return SelectionLanguage().Contains(pd, q)
+		},
+		PreprocessNote: "O(1)",
+		AnswerNote:     "O(|D|) per query",
+	}
+}
+
+// RangeSelectionLanguage decides range selections by the reference scan.
+func RangeSelectionLanguage() core.Language {
+	return core.LanguageFunc{
+		LangName: "range-selection",
+		Decide: func(d, q []byte) (bool, error) {
+			rel, err := relation.Decode(d)
+			if err != nil {
+				return false, err
+			}
+			lo, hi, err := decodeRangeQuery(q)
+			if err != nil {
+				return false, err
+			}
+			return rel.ScanRangeSelect("key", relation.Int(lo), relation.Int(hi))
+		},
+	}
+}
+
+// RangeSelectionScheme answers range selections on the sorted key file:
+// find the first key ≥ lo, check it against hi.
+func RangeSelectionScheme() *core.Scheme {
+	base := PointSelectionScheme()
+	return &core.Scheme{
+		SchemeName: "range-selection/sorted-keys",
+		Preprocess: base.Preprocess,
+		Answer: func(pd, q []byte) (bool, error) {
+			lo, hi, err := decodeRangeQuery(q)
+			if err != nil {
+				return false, err
+			}
+			if hi < lo {
+				return false, nil
+			}
+			idx, _ := searchSortedKeys(pd, lo)
+			return idx < len(pd)/8 && sortedKeyAt(pd, idx) <= hi, nil
+		},
+		PreprocessNote: "O(|D| log |D|)",
+		AnswerNote:     "O(log |D|)",
+	}
+}
+
+// --- §4(2): searching in a list -------------------------------------------------
+
+// EncodeList serializes an int64 list as the data part of problem L1.
+func EncodeList(list []int64) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(list)))
+	for _, v := range list {
+		b = binary.AppendVarint(b, v)
+	}
+	return b
+}
+
+// DecodeList parses EncodeList output.
+func DecodeList(d []byte) ([]int64, error) {
+	n, k := binary.Uvarint(d)
+	if k <= 0 {
+		return nil, fmt.Errorf("schemes: corrupt list header")
+	}
+	off := k
+	out := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, k := binary.Varint(d[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("schemes: corrupt list entry %d", i)
+		}
+		off += k
+		out = append(out, v)
+	}
+	if off != len(d) {
+		return nil, fmt.Errorf("schemes: %d trailing bytes", len(d)-off)
+	}
+	return out, nil
+}
+
+// ListMembershipLanguage is S(L1,Υ1): ⟨M, e⟩ with the answer "e ∈ M".
+func ListMembershipLanguage() core.Language {
+	return core.LanguageFunc{
+		LangName: "L1-list-membership",
+		Decide: func(d, q []byte) (bool, error) {
+			list, err := DecodeList(d)
+			if err != nil {
+				return false, err
+			}
+			e, err := decodePointQuery(q)
+			if err != nil {
+				return false, err
+			}
+			return listsearch.Scan(list, e), nil
+		},
+	}
+}
+
+// ListMembershipScheme sorts M once, then answers by binary search —
+// §4(2) verbatim.
+func ListMembershipScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "list-membership/sorted",
+		Preprocess: func(d []byte) ([]byte, error) {
+			list, err := DecodeList(d)
+			if err != nil {
+				return nil, err
+			}
+			idx := listsearch.NewIndex(list)
+			return putSortedKeys(idx.Sorted()), nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			e, err := decodePointQuery(q)
+			if err != nil {
+				return false, err
+			}
+			_, found := searchSortedKeys(pd, e)
+			return found, nil
+		},
+		PreprocessNote: "O(|M| log |M|)",
+		AnswerNote:     "O(log |M|)",
+	}
+}
+
+// RelationFromKeys builds (and encodes) a single-int64-column relation over
+// the schema synthetic(key, payload) from a key list. It is the α map of
+// the list-membership ≤NC_F point-selection reduction.
+func RelationFromKeys(keys []int64) []byte {
+	rel := relation.New(relation.MustSchema("synthetic",
+		relation.Attr{Name: "key", Kind: relation.KindInt64},
+		relation.Attr{Name: "payload", Kind: relation.KindString},
+	))
+	for _, k := range keys {
+		rel.MustAppend(relation.Tuple{relation.Int(k), relation.Str("")})
+	}
+	return rel.Encode()
+}
+
+// --- Example 3: reachability ------------------------------------------------------
+
+// NodePairQuery encodes a (u, v) node-pair query.
+func NodePairQuery(u, v int) []byte { return core.EncodeUint64(uint64(u), uint64(v)) }
+
+func decodeNodePair(q []byte) (int, int, error) {
+	vs, err := core.DecodeUint64(q, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(vs[0]), int(vs[1]), nil
+}
+
+// ReachabilityLanguage is S2 from Example 3: ⟨G, (s, t)⟩ with the answer
+// "there is a path from s to t in G", decided by BFS.
+func ReachabilityLanguage() core.Language {
+	return core.LanguageFunc{
+		LangName: "S2-reachability",
+		Decide: func(d, q []byte) (bool, error) {
+			g, err := graph.Decode(d)
+			if err != nil {
+				return false, err
+			}
+			u, v, err := decodeNodePair(q)
+			if err != nil {
+				return false, err
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+				return false, fmt.Errorf("schemes: node pair (%d,%d) out of range", u, v)
+			}
+			return g.Reachable(u, v), nil
+		},
+	}
+}
+
+// closureBytes lays out an n-vertex closure as an 8-byte header plus a
+// row-major bitset.
+func closureBytes(g *graph.Graph) []byte {
+	n := g.N()
+	c := graph.NewClosure(g)
+	b := make([]byte, 8+(n*n+7)/8)
+	binary.BigEndian.PutUint64(b, uint64(n))
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if c.Reach(u, v) {
+				bit := u*n + v
+				b[8+bit/8] |= 1 << (bit % 8)
+			}
+		}
+	}
+	return b
+}
+
+func closureReach(pd []byte, u, v int) (bool, error) {
+	if len(pd) < 8 {
+		return false, fmt.Errorf("schemes: corrupt closure header")
+	}
+	n := int(binary.BigEndian.Uint64(pd))
+	if n < 0 || len(pd) != 8+(n*n+7)/8 {
+		return false, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d", len(pd)-8, n)
+	}
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return false, fmt.Errorf("schemes: node pair (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	bit := u*n + v
+	return pd[8+bit/8]&(1<<(bit%8)) != 0, nil
+}
+
+// ReachabilityScheme precomputes the all-pairs matrix ("we may precompute a
+// matrix that records the reachability between all pairs of nodes") and
+// answers in O(1).
+func ReachabilityScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "reachability/closure-matrix",
+		Preprocess: func(d []byte) ([]byte, error) {
+			g, err := graph.Decode(d)
+			if err != nil {
+				return nil, err
+			}
+			return closureBytes(g), nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			u, v, err := decodeNodePair(q)
+			if err != nil {
+				return false, err
+			}
+			return closureReach(pd, u, v)
+		},
+		PreprocessNote: "O(|V|·|E|)",
+		AnswerNote:     "O(1)",
+	}
+}
+
+// ReachabilityBFSScheme is the baseline: no preprocessing, BFS per query.
+func ReachabilityBFSScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "reachability/bfs-per-query",
+		Preprocess: func(d []byte) ([]byte, error) { return d, nil },
+		Answer: func(pd, q []byte) (bool, error) {
+			return ReachabilityLanguage().Contains(pd, q)
+		},
+		PreprocessNote: "O(1)",
+		AnswerNote:     "O(|V|+|E|) per query",
+	}
+}
+
+// --- Example 2/5 and Figure 1: breadth-depth search --------------------------------
+
+// BDSProblem is the decision problem: instances are pad(G, (u,v)); member
+// iff u is visited before v.
+func BDSProblem() *core.Problem {
+	return &core.Problem{
+		ProblemName: "BDS",
+		Member: func(x []byte) (bool, error) {
+			d, q, err := core.UnpadPair(x)
+			if err != nil {
+				return false, err
+			}
+			return BDSLanguage().Contains(d, q)
+		},
+	}
+}
+
+// BDSFactorization is Υ_BDS from Figure 1: π1 = G, π2 = (u, v).
+func BDSFactorization() *core.Factorization {
+	return &core.Factorization{
+		FactName: "Υ_BDS",
+		Pi1: func(x []byte) ([]byte, error) {
+			d, _, err := core.UnpadPair(x)
+			return d, err
+		},
+		Pi2: func(x []byte) ([]byte, error) {
+			_, q, err := core.UnpadPair(x)
+			return q, err
+		},
+		Rho: func(d, q []byte) ([]byte, error) { return core.PadPair(d, q), nil },
+	}
+}
+
+// BDSLanguage is S(BDS, Υ_BDS): ⟨G, (u, v)⟩ decided by running the search.
+func BDSLanguage() core.Language {
+	return core.LanguageFunc{
+		LangName: "S-BDS",
+		Decide: func(d, q []byte) (bool, error) {
+			g, err := graph.Decode(d)
+			if err != nil {
+				return false, err
+			}
+			u, v, err := decodeNodePair(q)
+			if err != nil {
+				return false, err
+			}
+			return bds.AnswerNaive(g, u, v)
+		},
+	}
+}
+
+// posArrayBytes lays out pos[v] as n×4-byte records.
+func posArrayBytes(idx *bds.Index) []byte {
+	n := idx.Len()
+	b := make([]byte, 4*n)
+	for i, v := range idx.Order() {
+		binary.BigEndian.PutUint32(b[int(v)*4:], uint32(i))
+	}
+	return b
+}
+
+// BDSScheme is Example 5's preprocessing: run the search once, keep the
+// visit order; answer "u before v" by two O(1) position reads.
+func BDSScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "bds/visit-order",
+		Preprocess: func(d []byte) ([]byte, error) {
+			g, err := graph.Decode(d)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := bds.NewIndex(g)
+			if err != nil {
+				return nil, err
+			}
+			return posArrayBytes(idx), nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			u, v, err := decodeNodePair(q)
+			if err != nil {
+				return false, err
+			}
+			n := len(pd) / 4
+			if u < 0 || u >= n || v < 0 || v >= n {
+				return false, fmt.Errorf("schemes: node pair (%d,%d) out of range [0,%d)", u, v, n)
+			}
+			pu := binary.BigEndian.Uint32(pd[u*4:])
+			pv := binary.BigEndian.Uint32(pd[v*4:])
+			return pu < pv, nil
+		},
+		PreprocessNote: "O(|V|+|E|)",
+		AnswerNote:     "O(1) (O(log |M|) via binary search)",
+	}
+}
+
+// BDSNoPreprocessScheme is Figure 1's Υ′: nothing is preprocessed (the data
+// part is ε) and each query carries the whole instance, answered by a full
+// fresh search — PTIME per query.
+func BDSNoPreprocessScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "bds/no-preprocessing",
+		Preprocess: func(d []byte) ([]byte, error) {
+			if len(d) != 0 {
+				return nil, fmt.Errorf("schemes: Υ′ has an empty data part, got %d bytes", len(d))
+			}
+			return nil, nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			return BDSProblem().Member(q)
+		},
+		PreprocessNote: "O(1) (nothing to preprocess)",
+		AnswerNote:     "O(|V|+|E|) per query",
+	}
+}
+
+// --- §4(8), §6, §7: the circuit value problem ----------------------------------
+
+// GateQuery encodes the gate-value query "is gate g true".
+func GateQuery(g int) []byte { return core.EncodeUint64(uint64(g)) }
+
+// CVPGateLanguage: ⟨instance, g⟩ with the answer "gate g of the instance
+// evaluates to true" — the query class obtained by factorizing CVP with the
+// circuit-plus-inputs as data (the factorization Corollary 6 exploits).
+func CVPGateLanguage() core.Language {
+	return core.LanguageFunc{
+		LangName: "CVP-gate-values",
+		Decide: func(d, q []byte) (bool, error) {
+			inst, err := circuit.DecodeInstance(d)
+			if err != nil {
+				return false, err
+			}
+			vs, err := core.DecodeUint64(q, 1)
+			if err != nil {
+				return false, err
+			}
+			g := int(vs[0])
+			vals, err := inst.Circuit.EvalAll(inst.Inputs)
+			if err != nil {
+				return false, err
+			}
+			if g < 0 || g >= len(vals) {
+				return false, fmt.Errorf("schemes: gate %d out of range [0,%d)", g, len(vals))
+			}
+			return vals[g], nil
+		},
+	}
+}
+
+// CVPGateValueScheme preprocesses a CVP instance by evaluating every gate
+// once (PTIME) and answers gate queries by a single bit read (O(1)).
+func CVPGateValueScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "cvp/gate-values",
+		Preprocess: func(d []byte) ([]byte, error) {
+			inst, err := circuit.DecodeInstance(d)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := inst.Circuit.EvalAll(inst.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			b := make([]byte, 8+(len(vals)+7)/8)
+			binary.BigEndian.PutUint64(b, uint64(len(vals)))
+			for i, v := range vals {
+				if v {
+					b[8+i/8] |= 1 << (i % 8)
+				}
+			}
+			return b, nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			if len(pd) < 8 {
+				return false, fmt.Errorf("schemes: corrupt gate-value header")
+			}
+			vs, err := core.DecodeUint64(q, 1)
+			if err != nil {
+				return false, err
+			}
+			g := int(vs[0])
+			n := int(binary.BigEndian.Uint64(pd))
+			if n < 0 || len(pd) != 8+(n+7)/8 {
+				return false, fmt.Errorf("schemes: gate-value payload is %d bytes, header claims n=%d", len(pd)-8, n)
+			}
+			if g < 0 || g >= n {
+				return false, fmt.Errorf("schemes: gate %d out of range [0,%d)", g, n)
+			}
+			return pd[8+g/8]&(1<<(g%8)) != 0, nil
+		},
+		PreprocessNote: "O(|α|)",
+		AnswerNote:     "O(1)",
+	}
+}
+
+// CVPNoPreprocessScheme is Theorem 9's Υ0: the data part is ε, so
+// preprocessing sees a constant and cannot help; every query carries a full
+// CVP instance evaluated from scratch.
+func CVPNoPreprocessScheme() *core.Scheme {
+	return &core.Scheme{
+		SchemeName: "cvp/empty-data",
+		Preprocess: func(d []byte) ([]byte, error) {
+			if len(d) != 0 {
+				return nil, fmt.Errorf("schemes: Υ0 has an empty data part, got %d bytes", len(d))
+			}
+			return nil, nil
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			inst, err := circuit.DecodeInstance(q)
+			if err != nil {
+				return false, err
+			}
+			return inst.Eval()
+		},
+		PreprocessNote: "O(1) (constant input)",
+		AnswerNote:     "O(|α|) per query — preprocessing cannot help",
+	}
+}

@@ -1,0 +1,189 @@
+package tm
+
+// Cook–Levin/Ladner tableau compilation: a machine clocked to T steps on
+// inputs of length n becomes a Boolean circuit of size O(T² · |Γ| · |Q|)
+// whose value on an input equals the machine's acceptance. This is the
+// classical witness that CVP is P-complete, and the first link of the
+// paper's Corollary 6 chain (P → CVP → BDS).
+//
+// Encoding: one wire per (time t, cell i, symbol s, head h) with h = 0 for
+// "no head here" and h = q+1 for "head here in state q". Exactly one wire
+// per (t, i) is true in any reachable configuration. The update formulas:
+//
+//	W(i,s')  = C[t][i][s'][none] ∨ ⋁_{δ(q,s).Write=s'} C[t][i][s][q]
+//	A(i,q')  = arrivals from the left, right, the same cell (Stay), and
+//	           the cell-0 left-move boundary convention
+//	C[t+1][i][s'][q'] = W(i,s') ∧ A(i,q')
+//	C[t+1][i][s'][none] = W(i,s') ∧ ¬⋁_{q'} A(i,q')
+//
+// The boundary convention (a left move in cell 0 stays) matches Machine.Run
+// exactly; the equivalence tests exercise it.
+
+import (
+	"fmt"
+
+	"pitract/internal/circuit"
+)
+
+// builder incrementally assembles a circuit.
+type builder struct {
+	c *circuit.Circuit
+	// cached constant gates
+	cFalse, cTrue int32
+}
+
+func newBuilder(numInputs int) *builder {
+	b := &builder{c: &circuit.Circuit{NumInputs: numInputs}}
+	for i := 0; i < numInputs; i++ {
+		b.add(circuit.Gate{Kind: circuit.KindInput, Arg: int32(i)})
+	}
+	b.cFalse = b.add(circuit.Gate{Kind: circuit.KindConst, Arg: 0})
+	b.cTrue = b.add(circuit.Gate{Kind: circuit.KindConst, Arg: 1})
+	return b
+}
+
+func (b *builder) add(g circuit.Gate) int32 {
+	b.c.Gates = append(b.c.Gates, g)
+	return int32(len(b.c.Gates) - 1)
+}
+
+func (b *builder) input(i int) int32 { return int32(i) }
+
+func (b *builder) or(in []int32) int32 {
+	switch len(in) {
+	case 0:
+		return b.cFalse
+	case 1:
+		return in[0]
+	default:
+		return b.add(circuit.Gate{Kind: circuit.KindOr, In: in})
+	}
+}
+
+func (b *builder) and2(x, y int32) int32 {
+	return b.add(circuit.Gate{Kind: circuit.KindAnd, In: []int32{x, y}})
+}
+
+func (b *builder) not(x int32) int32 {
+	return b.add(circuit.Gate{Kind: circuit.KindNot, In: []int32{x}})
+}
+
+// Compile builds the tableau circuit for inputs of exactly length n with
+// step budget T = c.Bound(n). The resulting circuit has n input gates and
+// evaluates to true exactly on accepted inputs.
+func (c Clocked) Compile(n int) (*circuit.Circuit, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("tm: negative input length")
+	}
+	m := c.M
+	T := c.Bound(n)
+	cells := T + 1
+	if n+1 > cells {
+		cells = n + 1
+	}
+	q := m.States
+	hstates := q + 1 // 0 = none, i+1 = state i
+	b := newBuilder(n)
+
+	// wire[i][s*hstates+h] for the current time step.
+	type cellWires []int32 // indexed s*hstates+h
+	mk := func() []cellWires {
+		w := make([]cellWires, cells)
+		for i := range w {
+			w[i] = make(cellWires, NumSymbols*hstates)
+			for j := range w[i] {
+				w[i][j] = b.cFalse
+			}
+		}
+		return w
+	}
+	cur := mk()
+
+	// t = 0: input bits in cells 0..n-1, blanks beyond, head in cell 0.
+	headH := int(m.Start) + 1
+	for i := 0; i < cells; i++ {
+		h := 0
+		if i == 0 {
+			h = headH
+		}
+		switch {
+		case i < n:
+			x := b.input(i)
+			cur[i][One*hstates+h] = x
+			cur[i][Zero*hstates+h] = b.not(x)
+		default:
+			cur[i][Blank*hstates+h] = b.cTrue
+		}
+	}
+
+	for t := 0; t < T; t++ {
+		next := mk()
+		for i := 0; i < cells; i++ {
+			// W(i, s'): the symbol in cell i at t+1.
+			w := make([]int32, NumSymbols)
+			for sp := 0; sp < NumSymbols; sp++ {
+				terms := []int32{cur[i][sp*hstates+0]}
+				for st := 0; st < q; st++ {
+					for s := 0; s < NumSymbols; s++ {
+						if int(m.delta[st][s].Write) == sp {
+							terms = append(terms, cur[i][s*hstates+st+1])
+						}
+					}
+				}
+				w[sp] = b.or(terms)
+			}
+			// A(i, q'): the head arrives in state q'.
+			arr := make([]int32, q)
+			for qp := 0; qp < q; qp++ {
+				var terms []int32
+				for st := 0; st < q; st++ {
+					for s := 0; s < NumSymbols; s++ {
+						r := m.delta[st][s]
+						if int(r.Next) != qp {
+							continue
+						}
+						switch r.Move {
+						case Right:
+							if i > 0 {
+								terms = append(terms, cur[i-1][s*hstates+st+1])
+							}
+						case Left:
+							if i+1 < cells {
+								terms = append(terms, cur[i+1][s*hstates+st+1])
+							}
+							if i == 0 { // left move in cell 0 stays
+								terms = append(terms, cur[0][s*hstates+st+1])
+							}
+						case Stay:
+							terms = append(terms, cur[i][s*hstates+st+1])
+						}
+					}
+				}
+				arr[qp] = b.or(terms)
+			}
+			anyArr := b.or(append([]int32(nil), arr...))
+			noArr := b.not(anyArr)
+			for sp := 0; sp < NumSymbols; sp++ {
+				next[i][sp*hstates+0] = b.and2(w[sp], noArr)
+				for qp := 0; qp < q; qp++ {
+					next[i][sp*hstates+qp+1] = b.and2(w[sp], arr[qp])
+				}
+			}
+		}
+		cur = next
+	}
+
+	// Accept iff the head is anywhere in the accept state at time T.
+	var acceptTerms []int32
+	accH := int(m.Accept) + 1
+	for i := 0; i < cells; i++ {
+		for s := 0; s < NumSymbols; s++ {
+			acceptTerms = append(acceptTerms, cur[i][s*hstates+accH])
+		}
+	}
+	b.c.Output = b.or(acceptTerms)
+	if err := b.c.Validate(); err != nil {
+		return nil, fmt.Errorf("tm: compiled circuit invalid: %w", err)
+	}
+	return b.c, nil
+}

@@ -1,0 +1,211 @@
+// Package topk implements top-k query answering with early termination,
+// the preprocessing strategy the paper's §8(5) singles out as a candidate
+// for Π-tractability ("under certain conditions, top-k query answering
+// with early termination [14] may be made Π-tractable, which finds top-k
+// answers without computing the entire Q(D)").
+//
+// The instance follows Fagin, Lotem & Naor's Threshold Algorithm (TA):
+// objects carry m attribute scores; preprocessing sorts one descending
+// (score, object) list per attribute; a top-k query walks the lists
+// round-robin, random-accesses the remaining scores of each object it
+// meets, and stops as soon as the k-th best aggregate reaches the
+// threshold — the sum of the scores at the current list positions. On
+// skewed score distributions TA reads a vanishing fraction of the lists,
+// which the access counters make visible.
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is n objects × m attributes of non-negative scores.
+type Dataset struct {
+	// Scores[a][o] is the score of object o on attribute a.
+	Scores [][]float64
+}
+
+// N reports the object count.
+func (d *Dataset) N() int {
+	if len(d.Scores) == 0 {
+		return 0
+	}
+	return len(d.Scores[0])
+}
+
+// M reports the attribute count.
+func (d *Dataset) M() int { return len(d.Scores) }
+
+// Validate checks rectangular shape and non-negative scores.
+func (d *Dataset) Validate() error {
+	if d.M() == 0 {
+		return fmt.Errorf("topk: need at least one attribute")
+	}
+	n := d.N()
+	for a, col := range d.Scores {
+		if len(col) != n {
+			return fmt.Errorf("topk: attribute %d has %d objects, want %d", a, len(col), n)
+		}
+		for o, s := range col {
+			if s < 0 {
+				return fmt.Errorf("topk: negative score at (%d,%d)", a, o)
+			}
+		}
+	}
+	return nil
+}
+
+// GenZipf generates a seeded dataset whose scores follow a Zipf-like decay
+// over a random object permutation per attribute — the skew that makes
+// early termination pay.
+func GenZipf(n, m int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Scores: make([][]float64, m)}
+	for a := 0; a < m; a++ {
+		col := make([]float64, n)
+		perm := rng.Perm(n)
+		for rank, obj := range perm {
+			col[obj] = 1000.0 / float64(rank+1)
+		}
+		d.Scores[a] = col
+	}
+	return d
+}
+
+// Index is the TA preprocessing output: per-attribute descending lists.
+type Index struct {
+	d *Dataset
+	// lists[a][r] is the object with the r-th highest score on attribute a.
+	lists [][]int32
+}
+
+// NewIndex sorts one list per attribute: O(m · n log n) preprocessing.
+func NewIndex(d *Dataset) (*Index, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{d: d, lists: make([][]int32, d.M())}
+	for a, col := range d.Scores {
+		list := make([]int32, len(col))
+		for o := range list {
+			list[o] = int32(o)
+		}
+		sort.SliceStable(list, func(i, j int) bool { return col[list[i]] > col[list[j]] })
+		idx.lists[a] = list
+	}
+	return idx, nil
+}
+
+// Result is one ranked answer.
+type Result struct {
+	Object int
+	Score  float64
+}
+
+// Stats counts the accesses a query performed.
+type Stats struct {
+	// Sequential is the number of sorted-list entries read.
+	Sequential int
+	// Random is the number of random score lookups.
+	Random int
+}
+
+// resultHeap is a min-heap on Score keeping the current top-k.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// TopK runs the Threshold Algorithm: the k objects with the highest score
+// sums, in descending order (ties broken by smaller object id), plus access
+// statistics.
+func (x *Index) TopK(k int) ([]Result, Stats, error) {
+	n, m := x.d.N(), x.d.M()
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("topk: k must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	var st Stats
+	seen := make(map[int32]bool, 4*k)
+	var best resultHeap
+	for depth := 0; depth < n; depth++ {
+		threshold := 0.0
+		for a := 0; a < m; a++ {
+			obj := x.lists[a][depth]
+			st.Sequential++
+			threshold += x.d.Scores[a][obj]
+			if !seen[obj] {
+				seen[obj] = true
+				total := 0.0
+				for b := 0; b < m; b++ {
+					total += x.d.Scores[b][obj]
+					st.Random++
+				}
+				heap.Push(&best, Result{Object: int(obj), Score: total})
+				if best.Len() > k {
+					heap.Pop(&best)
+				}
+			}
+		}
+		// Early termination: nothing below this depth can beat the
+		// current k-th best.
+		if best.Len() == k && best[0].Score >= threshold {
+			break
+		}
+	}
+	return finish(best), st, nil
+}
+
+// Scan is the baseline: aggregate every object, sort, take k. O(n·m +
+// n log n) per query.
+func Scan(d *Dataset, k int) ([]Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("topk: k must be positive, got %d", k)
+	}
+	n := d.N()
+	if k > n {
+		k = n
+	}
+	all := make([]Result, n)
+	for o := 0; o < n; o++ {
+		total := 0.0
+		for a := 0; a < d.M(); a++ {
+			total += d.Scores[a][o]
+		}
+		all[o] = Result{Object: o, Score: total}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Object < all[j].Object
+	})
+	return all[:k], nil
+}
+
+func finish(h resultHeap) []Result {
+	out := make([]Result, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}

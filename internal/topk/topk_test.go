@@ -1,0 +1,172 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scoresOf projects results to their scores.
+func scoresOf(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Score
+	}
+	return out
+}
+
+func sameScores(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTAMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(200)
+		m := 1 + rng.Intn(4)
+		d := GenZipf(n, m, int64(trial))
+		idx, err := NewIndex(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 3, 10, n} {
+			got, _, err := idx.TopK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Scan(d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameScores(scoresOf(got), scoresOf(want)) {
+				t.Fatalf("trial %d n=%d m=%d k=%d: TA scores %v, scan scores %v",
+					trial, n, m, k, scoresOf(got), scoresOf(want))
+			}
+			// Every reported score must be the true aggregate of its object.
+			for _, r := range got {
+				total := 0.0
+				for a := 0; a < m; a++ {
+					total += d.Scores[a][r.Object]
+				}
+				if math.Abs(total-r.Score) > 1e-9 {
+					t.Fatalf("object %d reported %f, true %f", r.Object, r.Score, total)
+				}
+			}
+		}
+	}
+}
+
+func TestTAUniformRandomQuick(t *testing.T) {
+	f := func(seed int64, n16 uint16, k8 uint8) bool {
+		n := 1 + int(n16)%300
+		k := 1 + int(k8)%20
+		rng := rand.New(rand.NewSource(seed))
+		d := &Dataset{Scores: make([][]float64, 2)}
+		for a := range d.Scores {
+			col := make([]float64, n)
+			for o := range col {
+				col[o] = float64(rng.Intn(50)) // many ties
+			}
+			d.Scores[a] = col
+		}
+		idx, err := NewIndex(d)
+		if err != nil {
+			return false
+		}
+		got, _, err := idx.TopK(k)
+		if err != nil {
+			return false
+		}
+		want, err := Scan(d, k)
+		if err != nil {
+			return false
+		}
+		return sameScores(scoresOf(got), scoresOf(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyTerminationOnSkewedData(t *testing.T) {
+	n := 100_000
+	d := GenZipf(n, 3, 7)
+	idx, err := NewIndex(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := idx.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TA must stop far before exhausting the lists: on Zipf scores the
+	// threshold collapses within a few hundred positions.
+	if st.Sequential >= n {
+		t.Fatalf("TA read %d sequential entries on n=%d: no early termination", st.Sequential, n)
+	}
+	if st.Sequential > n/10 {
+		t.Errorf("TA read %d entries; expected ≪ n/10 on skewed data", st.Sequential)
+	}
+	if st.Random == 0 {
+		t.Error("TA performed no random accesses")
+	}
+}
+
+func TestTopKOrderingAndBounds(t *testing.T) {
+	d := GenZipf(50, 2, 1)
+	idx, err := NewIndex(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := idx.TopK(50 + 10) // k > n clamps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 50 {
+		t.Fatalf("len = %d, want 50", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not descending")
+		}
+		if res[i].Score == res[i-1].Score && res[i].Object < res[i-1].Object {
+			t.Fatal("tie-break not by object id")
+		}
+	}
+	if _, _, err := idx.TopK(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Scan(d, -1); err == nil {
+		t.Fatal("negative k accepted by Scan")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (&Dataset{}).Validate() == nil {
+		t.Error("empty dataset accepted")
+	}
+	ragged := &Dataset{Scores: [][]float64{{1, 2}, {1}}}
+	if ragged.Validate() == nil {
+		t.Error("ragged dataset accepted")
+	}
+	neg := &Dataset{Scores: [][]float64{{1, -2}}}
+	if neg.Validate() == nil {
+		t.Error("negative score accepted")
+	}
+	if _, err := NewIndex(ragged); err == nil {
+		t.Error("NewIndex accepted ragged dataset")
+	}
+	ok := &Dataset{Scores: [][]float64{{1, 2, 3}}}
+	if ok.Validate() != nil || ok.N() != 3 || ok.M() != 1 {
+		t.Error("valid dataset rejected")
+	}
+}

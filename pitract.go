@@ -1,0 +1,399 @@
+// Package pitract is the public API of the Π-tractability library, a full
+// implementation of Fan, Geerts & Neven, "Making Queries Tractable on Big
+// Data with Preprocessing" (VLDB 2013).
+//
+// The library has three layers:
+//
+//   - The formal framework (Definitions 1–8 of the paper): languages of
+//     pairs over Σ*, factorizations Υ = (π1, π2, ρ), Π-tractability schemes
+//     (PTIME preprocessing + NC answering), NC-factor reductions and
+//     F-reductions, the Lemma 2 padding composition and the Lemma 3 scheme
+//     transport.
+//
+//   - Executable case studies (§4 of the paper): point/range selection with
+//     index preprocessing, list membership, reachability with a closure
+//     matrix, breadth-depth search under both Figure-1 factorizations, the
+//     circuit value problem under the Corollary-6 and Theorem-9
+//     factorizations, and the full P → CVP → BDS completeness chain built
+//     from a Turing-machine simulator and a Cook–Levin tableau compiler.
+//
+//   - An experiment harness regenerating every figure, example and case
+//     study of the paper as a measured table (see Experiments and
+//     RunExperiment, or the pitract CLI).
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package pitract
+
+import (
+	"io"
+
+	"pitract/internal/circuit"
+	"pitract/internal/compress"
+	"pitract/internal/core"
+	"pitract/internal/graph"
+	"pitract/internal/harness"
+	"pitract/internal/inc"
+	"pitract/internal/relation"
+	"pitract/internal/schemes"
+	"pitract/internal/tm"
+	"pitract/internal/topk"
+	"pitract/internal/views"
+)
+
+// --- the formal framework (internal/core) -----------------------------------
+
+type (
+	// Language is a decidable language of pairs S ⊆ Σ*×Σ*, the paper's
+	// representation of a Boolean query class.
+	Language = core.Language
+	// LanguageFunc adapts a decision function to Language.
+	LanguageFunc = core.LanguageFunc
+	// Problem is a decision problem L ⊆ Σ* with a reference membership test.
+	Problem = core.Problem
+	// Factorization is Υ = (π1, π2, ρ): it splits instances into data and
+	// query parts.
+	Factorization = core.Factorization
+	// Scheme witnesses Π-tractability: PTIME Preprocess + NC Answer
+	// (Definition 1).
+	Scheme = core.Scheme
+	// Pair is one ⟨D, Q⟩ instance.
+	Pair = core.Pair
+	// Reduction is an (α, β) map between languages of pairs (≤NC_F, and the
+	// map component of ≤NC_fa).
+	Reduction = core.Reduction
+	// FactorReduction is a full NC-factor reduction with both factorizations
+	// (Definition 4).
+	FactorReduction = core.FactorReduction
+	// Registry collects query classes for the Figure 2 landscape.
+	Registry = core.Registry
+	// Entry is one registry row.
+	Entry = core.Entry
+	// Class places a query class in the paper's landscape.
+	Class = core.Class
+	// Measurement is one (size, cost) sample for growth classification.
+	Measurement = core.Measurement
+	// Fit is a fitted growth family with its log-log slope.
+	Fit = core.Fit
+	// Growth labels a growth family (constant / polylog / polynomial).
+	Growth = core.Growth
+	// FuncScheme witnesses Π-tractability of a function problem (§8(3)
+	// extension).
+	FuncScheme = core.FuncScheme
+	// FuncLanguage is a reference function F: Σ*×Σ* → Σ*.
+	FuncLanguage = core.FuncLanguage
+	// RewritingScheme is the revised Definition 1 with a query-rewriting
+	// function λ.
+	RewritingScheme = core.RewritingScheme
+	// IncrementalScheme extends a Scheme with maintenance of Π(D ⊕ ∆D).
+	IncrementalScheme = core.IncrementalScheme
+)
+
+// Landscape classes (Figure 2).
+const (
+	// ClassNC: answerable in NC with no preprocessing.
+	ClassNC = core.ClassNC
+	// ClassPiT0Q: Π-tractable with its natural factorization.
+	ClassPiT0Q = core.ClassPiT0Q
+	// ClassPiTQ: can be made Π-tractable by re-factorization (= P,
+	// Corollary 6).
+	ClassPiTQ = core.ClassPiTQ
+	// ClassP: PTIME, not known (or impossible unless P=NC) to be
+	// Π-tractable.
+	ClassP = core.ClassP
+	// ClassNPComplete: not Π-tractable unless P = NP (Corollary 7).
+	ClassNPComplete = core.ClassNPComplete
+)
+
+// Growth families.
+const (
+	// GrowthConstant: cost independent of input size.
+	GrowthConstant = core.GrowthConstant
+	// GrowthPolylog: cost polynomial in log n — the NC answering budget.
+	GrowthPolylog = core.GrowthPolylog
+	// GrowthPolynomial: cost n^a; preprocessing did not help.
+	GrowthPolynomial = core.GrowthPolynomial
+)
+
+// Framework functions.
+var (
+	// PadPair encodes (d, q) as one string — the paper's "@" padding.
+	PadPair = core.PadPair
+	// UnpadPair splits a padded string back into (d, q).
+	UnpadPair = core.UnpadPair
+	// PairLanguage builds S(L,Υ) from a problem and a factorization
+	// (Proposition 1).
+	PairLanguage = core.PairLanguage
+	// IdentityFactorization is the π1(x)=π2(x)=x factorization from the
+	// Theorem 5 proof.
+	IdentityFactorization = core.IdentityFactorization
+	// EmptyDataFactorization is Theorem 9's Υ0: nothing to preprocess.
+	EmptyDataFactorization = core.EmptyDataFactorization
+	// PaddedFactorization is the Lemma 2 padding construction.
+	PaddedFactorization = core.PaddedFactorization
+	// TransportScheme carries Π-tractability backwards along a reduction
+	// (Lemma 3 / Lemma 8).
+	TransportScheme = core.TransportScheme
+	// Compose composes reductions across mismatched middle factorizations
+	// (Lemma 2).
+	Compose = core.Compose
+	// Classify fits measured costs against polylog vs polynomial growth.
+	Classify = core.Classify
+)
+
+// --- case-study schemes and query codecs (internal/schemes) -------------------
+
+var (
+	// PointSelectionScheme: Example 1 — sorted-key index, O(log|D|)
+	// answering.
+	PointSelectionScheme = schemes.PointSelectionScheme
+	// PointSelectionScanScheme: the no-preprocessing baseline.
+	PointSelectionScanScheme = schemes.PointSelectionScanScheme
+	// RangeSelectionScheme: §4(1) range selection over the sorted keys.
+	RangeSelectionScheme = schemes.RangeSelectionScheme
+	// ListMembershipScheme: §4(2) sort + binary search.
+	ListMembershipScheme = schemes.ListMembershipScheme
+	// ReachabilityScheme: Example 3 — all-pairs closure matrix, O(1)
+	// answering.
+	ReachabilityScheme = schemes.ReachabilityScheme
+	// ReachabilityBFSScheme: BFS-per-query baseline.
+	ReachabilityBFSScheme = schemes.ReachabilityBFSScheme
+	// BDSScheme: Example 5 — visit-order preprocessing for breadth-depth
+	// search.
+	BDSScheme = schemes.BDSScheme
+	// BDSNoPreprocessScheme: Figure 1's Υ′ — nothing preprocessed.
+	BDSNoPreprocessScheme = schemes.BDSNoPreprocessScheme
+	// CVPGateValueScheme: §6 — CVP made Π-tractable by refactorization.
+	CVPGateValueScheme = schemes.CVPGateValueScheme
+	// CVPNoPreprocessScheme: Theorem 9's Υ0 — preprocessing cannot help.
+	CVPNoPreprocessScheme = schemes.CVPNoPreprocessScheme
+
+	// SelectionLanguage is S1 (Example 3).
+	SelectionLanguage = schemes.SelectionLanguage
+	// RangeSelectionLanguage decides §4(1) range queries.
+	RangeSelectionLanguage = schemes.RangeSelectionLanguage
+	// ListMembershipLanguage is S(L1,Υ1) (§4(2)).
+	ListMembershipLanguage = schemes.ListMembershipLanguage
+	// ReachabilityLanguage is S2 (Example 3).
+	ReachabilityLanguage = schemes.ReachabilityLanguage
+	// BDSLanguage is S(BDS, Υ_BDS) (Example 4).
+	BDSLanguage = schemes.BDSLanguage
+	// BDSProblem is the BDS decision problem.
+	BDSProblem = schemes.BDSProblem
+	// BDSFactorization is Υ_BDS from Figure 1.
+	BDSFactorization = schemes.BDSFactorization
+	// CVPGateLanguage decides gate-value queries on CVP instances.
+	CVPGateLanguage = schemes.CVPGateLanguage
+
+	// PointQuery encodes a point-selection query value.
+	PointQuery = schemes.PointQuery
+	// RangeQuery encodes a range-selection query.
+	RangeQuery = schemes.RangeQuery
+	// NodePairQuery encodes a (u, v) node-pair query.
+	NodePairQuery = schemes.NodePairQuery
+	// GateQuery encodes a gate-value query.
+	GateQuery = schemes.GateQuery
+	// EncodeList serializes a list for the §4(2) problem.
+	EncodeList = schemes.EncodeList
+	// EncodeBits serializes a binary TM input.
+	EncodeBits = schemes.EncodeBits
+	// RelationFromKeys encodes a single-column relation from keys.
+	RelationFromKeys = schemes.RelationFromKeys
+
+	// TMProblem wraps a clocked Turing machine as a decision problem.
+	TMProblem = schemes.TMProblem
+	// TMToBDSReduction is the Theorem 5 reduction L(M) ≤NC_fa BDS.
+	TMToBDSReduction = schemes.TMToBDSReduction
+	// TMSchemeViaBDS is the Corollary 6 scheme: decide L(M) through BDS.
+	TMSchemeViaBDS = schemes.TMSchemeViaBDS
+
+	// RMQFuncScheme: §4(3) as a function scheme (sparse table, O(1)).
+	RMQFuncScheme = schemes.RMQFuncScheme
+	// RMQFuncLanguage is the RMQ reference function.
+	RMQFuncLanguage = schemes.RMQFuncLanguage
+	// LCAFuncScheme: §4(4) as a function scheme (all-pairs table, O(1)).
+	LCAFuncScheme = schemes.LCAFuncScheme
+	// LCAFuncLanguage is the DAG-LCA reference function.
+	LCAFuncLanguage = schemes.LCAFuncLanguage
+	// RangeQueryIJ encodes an (i, j) index-range query for RMQ.
+	RangeQueryIJ = schemes.RangeQueryIJ
+	// ViewRewritingScheme: §4(6) with the Definition 1 λ-rewriting.
+	ViewRewritingScheme = schemes.ViewRewritingScheme
+	// IncrementalPointSelection maintains the sorted-key file under
+	// insertions (§1 incremental preprocessing).
+	IncrementalPointSelection = schemes.IncrementalPointSelection
+	// IncrementalReachability maintains the closure matrix under edge
+	// insertions.
+	IncrementalReachability = schemes.IncrementalReachability
+	// KeysDelta encodes an insertion batch for IncrementalPointSelection.
+	KeysDelta = schemes.KeysDelta
+	// EdgeDelta encodes an edge insertion for IncrementalReachability.
+	EdgeDelta = schemes.EdgeDelta
+)
+
+// --- top-k with early termination (§8(5), internal/topk) ------------------------
+
+type (
+	// TopKDataset is n objects × m attributes of non-negative scores.
+	TopKDataset = topk.Dataset
+	// TopKIndex is the Threshold Algorithm preprocessing output.
+	TopKIndex = topk.Index
+	// TopKResult is one ranked answer.
+	TopKResult = topk.Result
+	// TopKStats counts sequential and random accesses per query.
+	TopKStats = topk.Stats
+)
+
+var (
+	// NewTopKIndex sorts the per-attribute lists (the TA preprocessing).
+	NewTopKIndex = topk.NewIndex
+	// TopKScan is the full-scan baseline.
+	TopKScan = topk.Scan
+	// GenZipfDataset generates a seeded skewed dataset.
+	GenZipfDataset = topk.GenZipf
+)
+
+// --- circuits (internal/circuit) -------------------------------------------------
+
+// CVPInstance is a full Circuit Value Problem instance (circuit ᾱ, inputs,
+// designated output).
+type CVPInstance = circuit.Instance
+
+// CircuitGenConfig parameterizes random circuit generation.
+type CircuitGenConfig = circuit.GenConfig
+
+// Circuit is a topologically ordered Boolean circuit.
+type Circuit = circuit.Circuit
+
+var (
+	// GenerateCircuit builds a seeded random circuit.
+	GenerateCircuit = circuit.Generate
+	// RandomCircuitInputs returns a seeded input assignment.
+	RandomCircuitInputs = circuit.RandomInputs
+	// EncodeCVPInstance serializes a CVP instance.
+	EncodeCVPInstance = circuit.EncodeInstance
+	// DecodeCVPInstance parses a serialized CVP instance.
+	DecodeCVPInstance = circuit.DecodeInstance
+	// ReduceCVPToBDS maps a CVP instance to a BDS instance with the same
+	// answer (the Theorem 5 reference reduction; see DESIGN.md).
+	ReduceCVPToBDS = circuit.ReduceInstanceToBDS
+	// OptimizeCircuit folds constants and drops dead gates without
+	// changing the circuit's function.
+	OptimizeCircuit = circuit.Optimize
+)
+
+// --- sample machines (internal/tm) --------------------------------------------
+
+// ClockedMachine couples a deterministic Turing machine with its polynomial
+// step bound.
+type ClockedMachine = tm.Clocked
+
+var (
+	// ParityMachine accepts inputs with an even number of 1 bits.
+	ParityMachine = tm.Parity
+	// ContainsOneOneMachine accepts inputs containing "11".
+	ContainsOneOneMachine = tm.ContainsOneOne
+	// DivisibleByThreeMachine accepts binary multiples of three.
+	DivisibleByThreeMachine = tm.DivisibleByThree
+	// PalindromeMachine accepts binary palindromes (quadratic time).
+	PalindromeMachine = tm.Palindrome
+	// ZeroNOneNMachine accepts 0^a 1^a (quadratic time).
+	ZeroNOneNMachine = tm.ZeroNOneN
+	// SampleMachines returns all of the above.
+	SampleMachines = tm.SampleMachines
+)
+
+// --- substrates used by the examples -------------------------------------------
+
+type (
+	// Graph is the shared graph substrate.
+	Graph = graph.Graph
+	// Relation is the relational substrate.
+	Relation = relation.Relation
+	// CompressedGraph is a query-preserving compression for reachability
+	// (§4(5)).
+	CompressedGraph = compress.Compressed
+	// IncrementalReach is an incrementally maintained reachability index
+	// (§4(7)).
+	IncrementalReach = inc.Index
+	// IncrementalLedger is the |CHANGED|-based cost accounting.
+	IncrementalLedger = inc.Ledger
+	// ViewSet is a set of materialized views (§4(6)).
+	ViewSet = views.Set
+	// ViewDef defines one range view.
+	ViewDef = views.Def
+)
+
+var (
+	// NewGraph returns an empty graph.
+	NewGraph = graph.New
+	// RandomConnectedUndirected generates a seeded connected graph.
+	RandomConnectedUndirected = graph.RandomConnectedUndirected
+	// RandomDirected generates a seeded directed graph.
+	RandomDirected = graph.RandomDirected
+	// CommunityGraph generates a social-network-shaped directed graph.
+	CommunityGraph = graph.CommunityGraph
+	// CompressGraph builds the §4(5) compression.
+	CompressGraph = compress.Compress
+	// NewIncrementalReach builds the §4(7) incremental index.
+	NewIncrementalReach = inc.New
+	// MaterializeViews builds the §4(6) view set.
+	MaterializeViews = views.Materialize
+	// EvenPartition returns k contiguous range views.
+	EvenPartition = views.EvenPartition
+	// GenerateRelation generates a seeded synthetic relation.
+	GenerateRelation = relation.Generate
+	// IntValue wraps an int64 as a relation value.
+	IntValue = relation.Int
+)
+
+// RelationGenConfig parameterizes GenerateRelation.
+type RelationGenConfig = relation.GenConfig
+
+// --- experiments ------------------------------------------------------------------
+
+type (
+	// Experiment is one reproducible paper artifact.
+	Experiment = harness.Experiment
+	// ResultTable is a rendered experiment result.
+	ResultTable = harness.Table
+	// ExperimentScale selects Quick or Full workload sizes.
+	ExperimentScale = harness.Scale
+)
+
+// Experiment scales.
+const (
+	// ScaleQuick finishes the whole suite in seconds.
+	ScaleQuick = harness.Quick
+	// ScaleFull uses the EXPERIMENTS.md sizes.
+	ScaleFull = harness.Full
+)
+
+// Experiments lists every experiment (E1, F1, F2, E3, C1…C9, T5, L2, T9,
+// P10, A1…A3) in presentation order.
+func Experiments() []Experiment { return harness.All() }
+
+// RunExperiment runs one experiment by id and renders its table to w.
+func RunExperiment(w io.Writer, id string, scale ExperimentScale) error {
+	e, ok := harness.Find(id)
+	if !ok {
+		return &UnknownExperimentError{ID: id}
+	}
+	tbl, err := e.Run(scale)
+	if err != nil {
+		return err
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// UnknownExperimentError reports a bad experiment id.
+type UnknownExperimentError struct {
+	// ID is the id that was not found.
+	ID string
+}
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "pitract: unknown experiment " + e.ID + " (use Experiments() for the list)"
+}

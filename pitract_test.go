@@ -1,0 +1,163 @@
+package pitract
+
+// Facade-level tests: the public API must be sufficient to drive the
+// paper's main flows without reaching into internal packages (exactly what
+// the examples do).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// cvpInstance builds an encoded random CVP instance with the given gate
+// count; shared with the benchmarks.
+func cvpInstance(gates int) []byte {
+	c := GenerateCircuit(CircuitGenConfig{Inputs: 16, Gates: gates, Seed: int64(gates)})
+	return EncodeCVPInstance(&CVPInstance{Circuit: c, Inputs: RandomCircuitInputs(16, 9)})
+}
+
+func TestFacadeExample1Flow(t *testing.T) {
+	rel := GenerateRelation(RelationGenConfig{Rows: 2000, Seed: 1, KeyMax: 4000})
+	d := rel.Encode()
+	scheme := PointSelectionScheme()
+	prep, err := scheme.Preprocess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang := SelectionLanguage()
+	for c := int64(0); c < 100; c++ {
+		got, err := scheme.Answer(prep, PointQuery(c*31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lang.Contains(d, PointQuery(c*31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: %v vs %v", c, got, want)
+		}
+	}
+}
+
+func TestFacadeTheorem5Flow(t *testing.T) {
+	cm := ParityMachine()
+	scheme := TMSchemeViaBDS(cm)
+	for _, bits := range [][]bool{{}, {true}, {true, true}, {true, false, true}} {
+		x := EncodeBits(bits)
+		prep, err := scheme.Preprocess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := scheme.Answer(prep, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cm.M.Run(bits, cm.Bound(len(bits))).Accepted
+		if got != want {
+			t.Fatalf("input %v: chain %v, simulator %v", bits, got, want)
+		}
+	}
+}
+
+func TestFacadeCVPFlow(t *testing.T) {
+	d := cvpInstance(500)
+	inst, err := DecodeCVPInstance(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inst.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast path.
+	fast := CVPGateValueScheme()
+	prep, err := fast.Preprocess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fast.Answer(prep, GateQuery(int(inst.Circuit.Output)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 9 path.
+	slow, err := CVPNoPreprocessScheme().Answer(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || slow != want {
+		t.Fatalf("fast %v, slow %v, want %v", got, slow, want)
+	}
+	// Reference reduction to BDS preserves the answer structurally.
+	img, err := ReduceCVPToBDS(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (img.U < img.V) != want { // canonical graph visits 3 before 4
+		t.Fatal("BDS image does not reflect the answer")
+	}
+}
+
+func TestFacadeClassify(t *testing.T) {
+	fit, err := Classify([]Measurement{
+		{N: 100, Cost: 7}, {N: 1000, Cost: 10}, {N: 10000, Cost: 13}, {N: 100000, Cost: 17},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Growth != GrowthPolylog {
+		t.Fatalf("log-ish series classified %v", fit.Growth)
+	}
+}
+
+func TestRunExperimentAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "F2", ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ΠT⁰Q") {
+		t.Fatal("F2 table missing class column content")
+	}
+	err := RunExperiment(&buf, "nope", ScaleQuick)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	var unknown *UnknownExperimentError
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error %v does not name the id", err)
+	}
+	_ = unknown
+	if len(Experiments()) != 23 {
+		t.Fatalf("Experiments() = %d entries", len(Experiments()))
+	}
+}
+
+func TestFacadeViewsAndIncremental(t *testing.T) {
+	rel := GenerateRelation(RelationGenConfig{Rows: 1000, Seed: 2, KeyMax: 1000})
+	set, err := MaterializeViews(rel, EvenPartition("key", 0, 999, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.AnswerPoint("key", 500); err != nil {
+		t.Fatal(err)
+	}
+	g := RandomDirected(100, 150, 1)
+	idx, err := NewIncrementalReach(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.InsertEdge(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := idx.Reach(0, 99); !ok {
+		t.Fatal("inserted edge not reachable")
+	}
+	c, err := CompressGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reach(0, 99); err != nil {
+		t.Fatal(err)
+	}
+}
