@@ -57,6 +57,8 @@ func BenchmarkP10_FReductions(b *testing.B)      { benchExperiment(b, "P10") }
 func BenchmarkA1_ClosureAblation(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkA2_BTreeFanout(b *testing.B)       { benchExperiment(b, "A2") }
 func BenchmarkA3_RMQAblation(b *testing.B)       { benchExperiment(b, "A3") }
+func BenchmarkX1_ParallelPRAM(b *testing.B)      { benchExperiment(b, "X1") }
+func BenchmarkX2_BatchAnswering(b *testing.B)    { benchExperiment(b, "X2") }
 
 // --- per-operation benchmarks: the answering paths ---------------------------
 
@@ -178,6 +180,80 @@ func BenchmarkOpCVPNoPreprocess(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- sequential-vs-parallel benchmarks (the X experiments, per-op) -----------
+
+// batchWorkload builds a preprocessed BFS-per-query reachability store
+// and a query batch: each answer costs O(|V|+|E|), the shape where pooled
+// answering pays off.
+func batchWorkload(b *testing.B) (*Scheme, []byte, [][]byte) {
+	b.Helper()
+	g := RandomDirected(1<<10, 4<<10, 17)
+	scheme := ReachabilityBFSScheme()
+	prep, err := scheme.Preprocess(g.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 64)
+	rng := rand.New(rand.NewSource(18))
+	for i := range queries {
+		queries[i] = NodePairQuery(rng.Intn(1<<10), rng.Intn(1<<10))
+	}
+	return scheme, prep, queries
+}
+
+// BenchmarkOpAnswerBatchLoop is the sequential baseline: a batch of 64
+// reachability queries answered one at a time.
+func BenchmarkOpAnswerBatchLoop(b *testing.B) {
+	scheme, prep, queries := batchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.AnswerBatch(prep, queries, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpAnswerBatchParallel answers the same batch through the
+// GOMAXPROCS-sized worker pool; on a multi-core host it beats the loop
+// roughly linearly in core count.
+func BenchmarkOpAnswerBatchParallel(b *testing.B) {
+	scheme, prep, queries := batchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheme.AnswerBatch(prep, queries, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpPRAMClosureSequential measures the NC² closure schedule on
+// the sequential oracle executor (48 vertices, n³-wide rounds).
+func BenchmarkOpPRAMClosureSequential(b *testing.B) {
+	adj := pathMatrix(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PRAMTransitiveClosure(NewPRAM(0), adj)
+	}
+}
+
+// BenchmarkOpPRAMClosureParallel runs the identical schedule on the
+// goroutine-parallel executor.
+func BenchmarkOpPRAMClosureParallel(b *testing.B) {
+	adj := pathMatrix(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PRAMTransitiveClosure(NewPRAM(0, WithPRAMWorkers(0)), adj)
+	}
+}
+
+func pathMatrix(n int) *PRAMBoolMatrix {
+	adj := NewPRAMBoolMatrix(n)
+	for i := 0; i+1 < n; i++ {
+		adj.Set(i, i+1, true)
+	}
+	return adj
 }
 
 // BenchmarkOpTheorem5Chain measures one full chain execution (compile,

@@ -6,6 +6,16 @@
 //	pitract run <id>…         run selected experiments (E1, F1, C3, …)
 //	pitract run all           run the whole suite
 //	pitract -full run all     use the EXPERIMENTS.md workload sizes
+//	pitract -parallel 8 run X1 X2    size the worker pools explicitly
+//
+// # Running in parallel
+//
+// The X1 and X2 experiments exercise the concurrent execution engine: X1
+// substitutes the goroutine-parallel PRAM executor for the sequential
+// oracle (verifying identical results, rounds, and work), and X2 serves
+// query batches through the AnswerBatch worker pool. Both default to one
+// worker per CPU (GOMAXPROCS); -parallel overrides the worker count, e.g.
+// to chart speedup versus pool size on a fixed machine.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "use Full (EXPERIMENTS.md) workload sizes instead of Quick")
+	parallel := flag.Int("parallel", 0, "worker count for the parallel experiments X1/X2 (0 = one per CPU)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -30,6 +41,7 @@ func main() {
 	if *full {
 		scale = pitract.ScaleFull
 	}
+	pitract.SetExperimentParallelism(*parallel)
 	switch args[0] {
 	case "list":
 		for _, e := range pitract.Experiments() {
@@ -63,7 +75,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `pitract — experiments for "Making Queries Tractable on Big Data with Preprocessing"
 
 usage:
-  pitract list                 list experiments
-  pitract [-full] run <id>...  run experiments (or 'run all')
+  pitract list                              list experiments
+  pitract [-full] [-parallel N] run <id>... run experiments (or 'run all')
+
+running in parallel:
+  X1 races the goroutine-parallel PRAM executor against the sequential
+  oracle; X2 serves query batches through the AnswerBatch worker pool.
+  Both use one worker per CPU unless -parallel N overrides it.
 `)
 }

@@ -1,0 +1,61 @@
+// Package examples holds runnable programs, one per subdirectory; this
+// test-only package smoke-tests each of them: build it, run it with a
+// deadline, and assert a clean exit. The examples are the documented entry
+// path into the library, so a broken one is a broken front door.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// perExampleDeadline bounds one example's build+run. The heaviest example
+// (quickstart, one million rows) finishes in a few seconds; the deadline
+// leaves generous headroom for cold build caches and slow CI machines.
+const perExampleDeadline = 3 * time.Minute
+
+func TestExamplesSmoke(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not on PATH: %v", err)
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, err := os.Stat(filepath.Join(name, "main.go")); err != nil {
+			continue
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), perExampleDeadline)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goBin, "run", "./examples/"+name)
+			cmd.Dir = ".." // module root, where go.mod lives
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s exceeded its %v deadline\noutput:\n%s", name, perExampleDeadline, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited non-zero: %v\noutput:\n%s", name, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no examples found to smoke-test")
+	}
+}

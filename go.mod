@@ -1,0 +1,3 @@
+module pitract
+
+go 1.24

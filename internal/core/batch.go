@@ -1,0 +1,156 @@
+package core
+
+// Concurrent batch answering. The paper's asymmetry — preprocess once in
+// PTIME, answer each query in NC — is exactly the shape that serves many
+// clients from one preprocessed store: Π(D) is an immutable byte string, so
+// any number of goroutines may answer against it at once. AnswerBatch is
+// the worker-pool entry point for that mode.
+//
+// # The scheme concurrency contract
+//
+// Every Scheme (and FuncScheme) in this repository obeys, and every new
+// scheme must obey:
+//
+//  1. Preprocess is called once per database, before any Answer. It needs
+//     no internal synchronization but must not retain and later mutate the
+//     returned preprocessed string.
+//  2. Answer must be safe to call from any number of goroutines
+//     concurrently with the same pd. In practice that means Answer treats
+//     pd and q as read-only and keeps per-call state on the stack; schemes
+//     that memoize shared state across calls (e.g. the compiled-tableau
+//     cache of the Theorem 5 chain) must guard it with a mutex.
+//  3. Answer must not mutate pd or q, even transiently: a concurrent
+//     reader would observe the intermediate state.
+//
+// The contract is enforced by the schemes package's concurrency stress
+// test, which runs every registered scheme's Answer from many goroutines
+// under the race detector.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// AnswerBatch answers queries concurrently against one preprocessed store
+// and returns the verdicts in query order. parallelism bounds the worker
+// goroutines; values <= 0 select runtime.GOMAXPROCS(0). A parallelism of 1
+// degenerates to the plain sequential loop.
+//
+// The first error (by lowest query index) aborts the batch: remaining
+// workers drain quickly and the partial results are discarded. On success
+// results[i] is Answer(pd, queries[i]) for every i.
+func (s *Scheme) AnswerBatch(pd []byte, queries [][]byte, parallelism int) ([]bool, error) {
+	results := make([]bool, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if parallelism == 1 {
+		for i, q := range queries {
+			got, err := s.Answer(pd, q)
+			if err != nil {
+				return nil, fmt.Errorf("scheme %s: batch query %d: %w", s.SchemeName, i, err)
+			}
+			results[i] = got
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, len(queries))
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				got, err := s.Answer(pd, queries[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = got
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: batch query %d: %w", s.SchemeName, i, err)
+		}
+	}
+	return results, nil
+}
+
+// ApplyBatch is AnswerBatch for function schemes: it computes Apply for
+// every query concurrently and returns the outputs in query order, under
+// the same concurrency contract and error policy.
+func (s *FuncScheme) ApplyBatch(pd []byte, queries [][]byte, parallelism int) ([][]byte, error) {
+	results := make([][]byte, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if parallelism == 1 {
+		for i, q := range queries {
+			out, err := s.Apply(pd, q)
+			if err != nil {
+				return nil, fmt.Errorf("func scheme %s: batch query %d: %w", s.SchemeName, i, err)
+			}
+			results[i] = out
+		}
+		return results, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, len(queries))
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out, err := s.Apply(pd, queries[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("func scheme %s: batch query %d: %w", s.SchemeName, i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parityScheme answers "is the query integer's bit count even, offset by
+// the preprocessed byte"; queries equal to poison return an error. It is
+// cheap, deterministic, and stateless — ideal for exercising the batch
+// machinery itself.
+func parityScheme(poison uint64) *Scheme {
+	return &Scheme{
+		SchemeName: "test/parity",
+		Preprocess: func(d []byte) ([]byte, error) { return d, nil },
+		Answer: func(pd, q []byte) (bool, error) {
+			vs, err := DecodeUint64(q, 1)
+			if err != nil {
+				return false, err
+			}
+			v := vs[0]
+			if v == poison {
+				return false, fmt.Errorf("poisoned query %d", v)
+			}
+			bits := 0
+			for x := v; x != 0; x >>= 1 {
+				bits += int(x & 1)
+			}
+			return (bits+len(pd))%2 == 0, nil
+		},
+	}
+}
+
+func batchQueries(n int) [][]byte {
+	qs := make([][]byte, n)
+	for i := range qs {
+		qs[i] = EncodeUint64(uint64(i * 2654435761))
+	}
+	return qs
+}
+
+// TestAnswerBatchMatchesSequential: for every parallelism level, the batch
+// verdicts must equal the one-at-a-time loop, in query order.
+func TestAnswerBatchMatchesSequential(t *testing.T) {
+	s := parityScheme(^uint64(0))
+	pd := []byte{1}
+	queries := batchQueries(523)
+	want := make([]bool, len(queries))
+	for i, q := range queries {
+		got, err := s.Answer(pd, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = got
+	}
+	for _, par := range []int{-1, 0, 1, 2, 3, 8, 64, 1000} {
+		got, err := s.AnswerBatch(pd, queries, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d results, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: query %d: batch %v, sequential %v", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAnswerBatchEmpty(t *testing.T) {
+	s := parityScheme(0)
+	got, err := s.AnswerBatch(nil, nil, 8)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: results=%v err=%v", got, err)
+	}
+}
+
+// TestAnswerBatchErrorPropagation: a failing query aborts the batch and
+// the error names the scheme and the query index.
+func TestAnswerBatchErrorPropagation(t *testing.T) {
+	const poison = uint64(77 * 2654435761)
+	s := parityScheme(poison) // query index 77 fails
+	queries := batchQueries(200)
+	for _, par := range []int{1, 4} {
+		got, err := s.AnswerBatch(nil, queries, par)
+		if err == nil {
+			t.Fatalf("parallelism %d: poisoned batch succeeded", par)
+		}
+		if got != nil {
+			t.Fatalf("parallelism %d: partial results returned alongside error", par)
+		}
+		if !strings.Contains(err.Error(), "query 77") || !strings.Contains(err.Error(), s.SchemeName) {
+			t.Fatalf("parallelism %d: error %q does not name scheme and query index", par, err)
+		}
+	}
+}
+
+// TestAnswerBatchConcurrentCallers: many goroutines batching against one
+// preprocessed store at once — the serving pattern — must stay correct
+// under the race detector.
+func TestAnswerBatchConcurrentCallers(t *testing.T) {
+	s := parityScheme(^uint64(0))
+	pd := []byte{0, 1}
+	queries := batchQueries(64)
+	want, err := s.AnswerBatch(pd, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := s.AnswerBatch(pd, queries, 4)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					errc <- fmt.Errorf("query %d diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestApplyBatchMatchesSequential covers the function-scheme variant.
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	s := &FuncScheme{
+		SchemeName: "test/double",
+		Preprocess: func(d []byte) ([]byte, error) { return d, nil },
+		Apply: func(pd, q []byte) ([]byte, error) {
+			vs, err := DecodeUint64(q, 1)
+			if err != nil {
+				return nil, err
+			}
+			v := vs[0]
+			if v%97 == 13 {
+				return nil, errors.New("unlucky")
+			}
+			return EncodeUint64(2 * v), nil
+		},
+	}
+	queries := make([][]byte, 150)
+	for i := range queries {
+		queries[i] = EncodeUint64(uint64(i * 97)) // v%97 == 0: never unlucky
+	}
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		out, err := s.Apply(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	got, err := s.ApplyBatch(nil, queries, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("query %d: batch %x, sequential %x", i, got[i], want[i])
+		}
+	}
+	// And the failing path.
+	bad := [][]byte{EncodeUint64(13)}
+	if _, err := s.ApplyBatch(nil, bad, 3); err == nil {
+		t.Fatal("poisoned ApplyBatch succeeded")
+	}
+}

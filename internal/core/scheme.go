@@ -10,11 +10,17 @@ import "fmt"
 //
 // The complexity annotations are claims; the repository backs them with
 // measured growth (see Classify) rather than asserting them blindly.
+//
+// Schemes obey the concurrency contract documented in batch.go: Preprocess
+// runs once, up front; Answer must then be safe from any number of
+// goroutines sharing one preprocessed store (see AnswerBatch for the
+// worker-pool entry point).
 type Scheme struct {
 	SchemeName string
 	// Preprocess is Π(·), run once per database, off-line, in PTIME.
 	Preprocess func(d []byte) ([]byte, error)
-	// Answer decides ⟨Π(D), Q⟩ ∈ S′; it must meet the NC budget.
+	// Answer decides ⟨Π(D), Q⟩ ∈ S′; it must meet the NC budget. It must
+	// treat pd and q as read-only and be safe for concurrent use.
 	Answer func(pd, q []byte) (bool, error)
 	// PreprocessNote and AnswerNote document the claimed complexities,
 	// e.g. "O(|D| log |D|)" and "O(log |D|)".

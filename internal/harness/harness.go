@@ -1,6 +1,6 @@
 // Package harness regenerates every figure, example and case study of the
 // paper as a measured table. Each experiment has an id (E1, F1, C1…C9, T5,
-// T9, L2, P10, A1…A3) matching DESIGN.md's per-experiment index, a
+// T9, L2, P10, A1…A3, X1…X2) matching DESIGN.md's per-experiment index, a
 // generator that runs the workload at several sizes, and — where the paper
 // makes a growth claim — a fitted growth label from core.Classify.
 //
@@ -12,7 +12,9 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pitract/internal/core"
@@ -120,6 +122,30 @@ func (s Scale) sizes(q, f []int) []int {
 	return q
 }
 
+// parallelism is the worker count the parallel experiments (X1, X2) use;
+// 0 means runtime.GOMAXPROCS(0). It is a process-wide knob so the CLI's
+// -parallel flag reaches the experiment generators without threading a
+// parameter through every Run signature.
+var parallelism atomic.Int32
+
+// SetParallelism sets the worker count for the parallel experiments.
+// n <= 0 restores the default (GOMAXPROCS).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the effective worker count for the parallel
+// experiments.
+func Parallelism() int {
+	if p := parallelism.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // timeOp measures the mean wall time of f over iters runs, in nanoseconds.
 func timeOp(iters int, f func()) float64 {
 	if iters < 1 {
@@ -185,6 +211,8 @@ func All() []Experiment {
 		{"A1", "ablation: transitive closure representations", A1ClosureAblation},
 		{"A2", "ablation: B⁺-tree fanout", A2BTreeFanout},
 		{"A3", "ablation: RMQ structures", A3RMQAblation},
+		{"X1", "parallel PRAM executor vs the sequential oracle", X1ParallelPRAM},
+		{"X2", "concurrent batch answering vs one-at-a-time", X2BatchAnswering},
 	}
 }
 

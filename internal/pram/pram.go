@@ -19,6 +19,36 @@
 // All computation inside a round reads the memory image from the start of
 // the round; writes become visible only when the round commits. This gives
 // the synchronous semantics the NC literature assumes.
+//
+// # Execution engines and the parallel substitution rule
+//
+// The machine has two interchangeable executors:
+//
+//   - the sequential executor (the default) runs every processor activation
+//     of a round on the calling goroutine, in processor order. It is the
+//     reference oracle: simple, allocation-light, and trivially
+//     deterministic.
+//
+//   - the parallel executor (enabled with WithWorkers) partitions a round's
+//     activations into contiguous processor-id chunks and runs the chunks on
+//     a bounded pool of goroutines. Chunk journals are committed in chunk
+//     order, which equals processor order, so the post-round memory image,
+//     the round count, the work count, and even the last-write-wins
+//     resolution of (illegal, undetected) write collisions are byte-for-byte
+//     identical to the sequential executor. CREW conflict detection keeps
+//     working: intra-chunk conflicts are caught during the round, and
+//     cross-chunk conflicts are caught by merging the per-chunk writer maps
+//     before commit.
+//
+// Substituting one executor for the other therefore never changes results
+// or accounted costs — only host wall-clock time. Tests assert this
+// differentially on every PRAM program in the repository; benchmarks
+// measure the wall-clock gap.
+//
+// Kernels must be pure with respect to host state: a kernel may read and
+// write machine memory through its Ctx and read captured variables, but it
+// must not mutate shared host variables, because the parallel executor runs
+// kernel invocations concurrently.
 package pram
 
 import (
@@ -48,18 +78,54 @@ var ErrWriteConflict = errors.New("pram: concurrent write to the same cell withi
 //
 // The zero value is not usable; construct machines with New.
 type Machine struct {
-	mem      []int64
-	journal  []write
-	rounds   int
-	work     int64
-	detect   bool
-	conflict bool
-	writers  map[int]int // addr -> processor id, populated only when detect
+	mem     []int64
+	rounds  int
+	work    int64
+	detect  bool
+	workers int // ≥ 2 enables the parallel executor
+	grain   int // minimum activations per parallel chunk
+
+	seq     roundSink   // reused by the sequential executor
+	par     []roundSink // reused per-chunk sinks for the parallel executor
+	writers map[int]int // merged writer map for cross-chunk detection
 }
 
 type write struct {
 	addr int
 	val  int64
+}
+
+// roundSink collects the writes (and, under conflict detection, the writer
+// identities) produced by one executor lane during a round. The sequential
+// executor uses a single sink; the parallel executor uses one per chunk.
+type roundSink struct {
+	journal  []write
+	writers  map[int]int // addr -> processor id, populated only when detecting
+	conflict bool
+}
+
+func (s *roundSink) reset(detect bool) {
+	s.journal = s.journal[:0]
+	s.conflict = false
+	if detect {
+		if s.writers == nil {
+			s.writers = make(map[int]int)
+		} else {
+			clear(s.writers)
+		}
+	}
+}
+
+func (s *roundSink) store(proc, addr int, v int64) {
+	if s.writers != nil {
+		if prev, ok := s.writers[addr]; ok && prev != proc {
+			// Record the conflict by poisoning; Step surfaces the error.
+			s.conflict = true
+		} else {
+			s.writers[addr] = proc
+		}
+	}
+	s.journal = append(s.journal, write{addr, v})
 }
 
 // Option configures a Machine.
@@ -74,7 +140,7 @@ func WithConflictDetection() Option {
 
 // New returns a machine with size zeroed memory cells.
 func New(size int, opts ...Option) *Machine {
-	m := &Machine{mem: make([]int64, size)}
+	m := &Machine{mem: make([]int64, size), grain: DefaultGrain}
 	for _, o := range opts {
 		o(m)
 	}
@@ -130,6 +196,7 @@ func (m *Machine) ResetCost() { m.rounds, m.work = 0, 0 }
 // kernel invocation it is passed to.
 type Ctx struct {
 	m    *Machine
+	sink *roundSink
 	proc int
 }
 
@@ -142,42 +209,35 @@ func (c Ctx) Load(addr int) int64 { return c.m.mem[addr] }
 // Store schedules a write that commits when the round ends. Writing the same
 // cell twice from the same processor keeps the last value; writes from two
 // different processors to one cell violate CREW and are reported by Step.
-func (c Ctx) Store(addr int, v int64) {
-	if c.m.detect {
-		if prev, ok := c.m.writers[addr]; ok && prev != c.proc {
-			// Record the conflict by poisoning; Step surfaces the error.
-			c.m.conflict = true
-		} else {
-			c.m.writers[addr] = c.proc
-		}
-	}
-	c.m.journal = append(c.m.journal, write{addr, v})
-}
-
-// conflict is latched by Ctx.Store and consumed by Step.
-// (Declared on Machine; kept near Ctx.Store for readability.)
+func (c Ctx) Store(addr int, v int64) { c.sink.store(c.proc, addr, v) }
 
 // Step executes one synchronous round on procs processors. Every processor
 // runs the kernel once; all loads observe the memory image from the start of
 // the round, and all stores commit together when the round returns.
 //
-// The round adds 1 to Rounds and procs to Work.
+// The round adds 1 to Rounds and procs to Work. When the machine was built
+// with WithWorkers, rounds wide enough to amortize goroutine scheduling run
+// on the parallel executor; results and costs are identical either way.
 func (m *Machine) Step(procs int, kernel func(Ctx)) error {
 	if procs <= 0 {
 		return fmt.Errorf("pram: Step needs a positive processor count, got %d", procs)
 	}
-	m.journal = m.journal[:0]
-	if m.detect {
-		clear(m.writers)
-		m.conflict = false
+	if m.parallelEligible(procs) {
+		return m.stepParallel(procs, kernel)
 	}
+	return m.stepSequential(procs, kernel)
+}
+
+func (m *Machine) stepSequential(procs int, kernel func(Ctx)) error {
+	s := &m.seq
+	s.reset(m.detect)
 	for p := 0; p < procs; p++ {
-		kernel(Ctx{m: m, proc: p})
+		kernel(Ctx{m: m, sink: s, proc: p})
 	}
-	if m.detect && m.conflict {
+	if s.conflict {
 		return ErrWriteConflict
 	}
-	for _, w := range m.journal {
+	for _, w := range s.journal {
 		m.mem[w.addr] = w.val
 	}
 	m.rounds++

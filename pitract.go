@@ -21,6 +21,13 @@
 //     study of the paper as a measured table (see Experiments and
 //     RunExperiment, or the pitract CLI).
 //
+// On top of the reproduction sits a concurrent execution engine: the PRAM
+// simulator has a goroutine-parallel executor that is observationally
+// identical to the sequential oracle (WithPRAMWorkers), and every scheme's
+// Answer is safe from many goroutines after one preprocessing pass, so
+// batches of queries can be served concurrently from one preprocessed
+// store (AnswerBatch; experiments X1 and X2 measure both).
+//
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
 // results.
 package pitract
@@ -34,6 +41,7 @@ import (
 	"pitract/internal/graph"
 	"pitract/internal/harness"
 	"pitract/internal/inc"
+	"pitract/internal/pram"
 	"pitract/internal/relation"
 	"pitract/internal/schemes"
 	"pitract/internal/tm"
@@ -139,6 +147,74 @@ var (
 	Compose = core.Compose
 	// Classify fits measured costs against polylog vs polynomial growth.
 	Classify = core.Classify
+)
+
+// --- concurrent batch answering -----------------------------------------------
+
+// AnswerBatch answers a batch of queries concurrently against one
+// preprocessed store, using a bounded worker pool. It is the entry point
+// for the preprocess-once/serve-many mode: Π(D) is immutable, so any
+// number of goroutines may answer against it at once (every scheme obeys
+// the concurrency contract documented on Scheme). parallelism <= 0 selects
+// GOMAXPROCS. Results come back in query order; the first failing query
+// aborts the batch.
+//
+// Scheme.AnswerBatch is the same operation as a method; this function
+// exists so the batch entry point is discoverable at the package top
+// level.
+func AnswerBatch(s *Scheme, pd []byte, queries [][]byte, parallelism int) ([]bool, error) {
+	return s.AnswerBatch(pd, queries, parallelism)
+}
+
+// ApplyBatch is AnswerBatch for function schemes (RMQ, LCA): concurrent
+// Apply over one preprocessed store, outputs in query order.
+func ApplyBatch(s *FuncScheme, pd []byte, queries [][]byte, parallelism int) ([][]byte, error) {
+	return s.ApplyBatch(pd, queries, parallelism)
+}
+
+// SetExperimentParallelism sets the worker count used by the parallel
+// experiments (X1, X2) — the library face of the CLI's -parallel flag.
+// n <= 0 restores the GOMAXPROCS default.
+var SetExperimentParallelism = harness.SetParallelism
+
+// ExperimentParallelism reports the effective worker count for the
+// parallel experiments.
+var ExperimentParallelism = harness.Parallelism
+
+// --- the PRAM engine (internal/pram) -------------------------------------------
+
+type (
+	// PRAM is the deterministic CREW PRAM simulator behind the repository's
+	// NC measurements. Built with NewPRAM; WithPRAMWorkers swaps in the
+	// goroutine-parallel executor, which is observationally identical to
+	// the sequential oracle (same memory images, rounds, and work) but uses
+	// the host's cores.
+	PRAM = pram.Machine
+	// PRAMCost is (rounds, work) — parallel time and total activations.
+	PRAMCost = pram.Cost
+	// PRAMOption configures NewPRAM.
+	PRAMOption = pram.Option
+	// PRAMCtx is the per-processor view a kernel receives during a round.
+	PRAMCtx = pram.Ctx
+	// PRAMBoolMatrix is the dense Boolean matrix the closure schedule runs
+	// on.
+	PRAMBoolMatrix = pram.BoolMatrix
+)
+
+var (
+	// NewPRAM returns a machine with the given number of memory cells.
+	NewPRAM = pram.New
+	// WithPRAMWorkers enables the goroutine-parallel executor (n <= 0
+	// selects GOMAXPROCS workers).
+	WithPRAMWorkers = pram.WithWorkers
+	// WithPRAMConflictDetection enables CREW conflict checking.
+	WithPRAMConflictDetection = pram.WithConflictDetection
+	// NewPRAMBoolMatrix returns an n×n all-false matrix.
+	NewPRAMBoolMatrix = pram.NewBoolMatrix
+	// PRAMTransitiveClosure is the NC² closure schedule (Example 3).
+	PRAMTransitiveClosure = pram.TransitiveClosure
+	// PRAMBitonicSort is Batcher's O(log² n)-round sorting network.
+	PRAMBitonicSort = pram.BitonicSort
 )
 
 // --- case-study schemes and query codecs (internal/schemes) -------------------

@@ -128,8 +128,8 @@ func TestRunExperimentAndErrors(t *testing.T) {
 		t.Fatalf("error %v does not name the id", err)
 	}
 	_ = unknown
-	if len(Experiments()) != 23 {
-		t.Fatalf("Experiments() = %d entries", len(Experiments()))
+	if len(Experiments()) != 25 {
+		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1/X2", len(Experiments()))
 	}
 }
 
@@ -159,5 +159,80 @@ func TestFacadeViewsAndIncremental(t *testing.T) {
 	}
 	if _, err := c.Reach(0, 99); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeConcurrentEngine drives the concurrent execution engine
+// through the public API only: batch answering against one preprocessed
+// store, and the parallel PRAM executor substituting for the sequential
+// oracle.
+func TestFacadeConcurrentEngine(t *testing.T) {
+	// Batch answering: worker pool verdicts must equal the loop's.
+	g := RandomDirected(128, 512, 11)
+	scheme := ReachabilityScheme()
+	prep, err := scheme.Preprocess(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]byte, 40)
+	for i := range queries {
+		queries[i] = NodePairQuery(i%128, (i*37)%128)
+	}
+	loop, err := AnswerBatch(scheme, prep, queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := AnswerBatch(scheme, prep, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range loop {
+		if loop[i] != pooled[i] {
+			t.Fatalf("query %d: loop %v, pooled %v", i, loop[i], pooled[i])
+		}
+	}
+
+	// ApplyBatch for function schemes.
+	list := make([]int64, 64)
+	for i := range list {
+		list[i] = int64((i * 31) % 100)
+	}
+	fs := RMQFuncScheme()
+	fprep, err := fs.Preprocess(EncodeList(list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := [][]byte{RangeQueryIJ(0, 63), RangeQueryIJ(10, 20), RangeQueryIJ(5, 5)}
+	seqOut, err := ApplyBatch(fs, fprep, rq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut, err := ApplyBatch(fs, fprep, rq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqOut {
+		if string(seqOut[i]) != string(parOut[i]) {
+			t.Fatalf("RMQ query %d diverged between loop and pool", i)
+		}
+	}
+
+	// Parallel PRAM executor: identical closure and cost to the oracle.
+	adj := NewPRAMBoolMatrix(20)
+	for i := 0; i+1 < 20; i++ {
+		adj.Set(i, i+1, true)
+	}
+	seqM := NewPRAM(0)
+	parM := NewPRAM(0, WithPRAMWorkers(4))
+	want := PRAMTransitiveClosure(seqM, adj)
+	got := PRAMTransitiveClosure(parM, adj)
+	if !want.Equal(got) {
+		t.Fatal("parallel executor produced a different closure")
+	}
+	if seqM.Cost() != parM.Cost() {
+		t.Fatalf("cost diverged: sequential %v, parallel %v", seqM.Cost(), parM.Cost())
+	}
+	if ExperimentParallelism() < 1 {
+		t.Fatal("ExperimentParallelism must be ≥ 1")
 	}
 }
