@@ -59,6 +59,7 @@ func BenchmarkA2_BTreeFanout(b *testing.B)       { benchExperiment(b, "A2") }
 func BenchmarkA3_RMQAblation(b *testing.B)       { benchExperiment(b, "A3") }
 func BenchmarkX1_ParallelPRAM(b *testing.B)      { benchExperiment(b, "X1") }
 func BenchmarkX2_BatchAnswering(b *testing.B)    { benchExperiment(b, "X2") }
+func BenchmarkX3_Serving(b *testing.B)           { benchExperiment(b, "X3") }
 
 // --- per-operation benchmarks: the answering paths ---------------------------
 

@@ -1,86 +1,250 @@
-// Command pitract runs the paper-reproduction experiment suite.
+// Command pitract runs the paper-reproduction experiment suite and serves
+// preprocessed stores over HTTP.
 //
 // Usage:
 //
-//	pitract list              list all experiments
-//	pitract run <id>…         run selected experiments (E1, F1, C3, …)
-//	pitract run all           run the whole suite
-//	pitract -full run all     use the EXPERIMENTS.md workload sizes
-//	pitract -parallel 8 run X1 X2    size the worker pools explicitly
+//	pitract list                       list all experiments
+//	pitract run <id>…                  run selected experiments (E1, F1, C3, …)
+//	pitract run all                    run the whole suite
+//	pitract run -full all              use the EXPERIMENTS.md workload sizes
+//	pitract run -parallel 8 X1 X2      size the worker pools explicitly
+//	pitract serve -addr :8080 -data ./data    serve the HTTP query API
 //
 // # Running in parallel
 //
 // The X1 and X2 experiments exercise the concurrent execution engine: X1
 // substitutes the goroutine-parallel PRAM executor for the sequential
 // oracle (verifying identical results, rounds, and work), and X2 serves
-// query batches through the AnswerBatch worker pool. Both default to one
-// worker per CPU (GOMAXPROCS); -parallel overrides the worker count, e.g.
-// to chart speedup versus pool size on a fixed machine.
+// query batches through the AnswerBatch worker pool. X3 measures the same
+// serving path end-to-end over HTTP. All default to one worker per CPU
+// (GOMAXPROCS); -parallel overrides the worker count.
+//
+// # Serving
+//
+// `pitract serve` starts the preprocess-once/answer-many HTTP API: clients
+// POST a dataset once (paying PTIME preprocessing, persisted as a snapshot
+// under -data so restarts reload instead of recompute) and then answer any
+// number of queries in the NC budget via /v1/query and /v1/query/batch.
+// See the package pitract documentation and examples/serve for a client.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"pitract"
 )
 
 func main() {
-	full := flag.Bool("full", false, "use Full (EXPERIMENTS.md) workload sizes instead of Quick")
-	parallel := flag.Int("parallel", 0, "worker count for the parallel experiments X1/X2 (0 = one per CPU)")
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches the subcommand and returns the process exit code. Every
+// unknown subcommand, unknown flag, or stray argument is a usage error
+// (exit 2) with a message on stderr — never a silent fall-through.
+func run(args []string) int {
+	// Accept global-style flags before the subcommand too (the pre-serve
+	// CLI shape, `pitract -full run all`), by letting the top-level FlagSet
+	// parse and re-dispatching on the remainder.
+	top := flag.NewFlagSet("pitract", flag.ContinueOnError)
+	top.Usage = func() { usage(top.Output()) }
+	topFull := top.Bool("full", false, "use Full (EXPERIMENTS.md) workload sizes instead of Quick")
+	topParallel := top.Int("parallel", 0, "worker count for the parallel experiments (0 = one per CPU)")
+	if code := parseArgs(top, args); code >= 0 {
+		return code
 	}
-	scale := pitract.ScaleQuick
-	if *full {
-		scale = pitract.ScaleFull
+	rest := top.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "pitract: missing subcommand")
+		usage(os.Stderr)
+		return 2
 	}
-	pitract.SetExperimentParallelism(*parallel)
-	switch args[0] {
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
 	case "list":
-		for _, e := range pitract.Experiments() {
-			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
-		}
+		return cmdList(rest)
 	case "run":
-		ids := args[1:]
-		if len(ids) == 0 {
-			fmt.Fprintln(os.Stderr, "pitract run: need experiment ids or 'all'")
-			os.Exit(2)
-		}
-		if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
-			ids = ids[:0]
-			for _, e := range pitract.Experiments() {
-				ids = append(ids, e.ID)
-			}
-		}
-		for _, id := range ids {
-			if err := pitract.RunExperiment(os.Stdout, id, scale); err != nil {
-				fmt.Fprintf(os.Stderr, "pitract: %v\n", err)
-				os.Exit(1)
-			}
-		}
+		return cmdRun(rest, *topFull, *topParallel)
+	case "serve":
+		return cmdServe(rest)
+	case "help":
+		usage(os.Stdout)
+		return 0
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "pitract: unknown subcommand %q\n", cmd)
+		usage(os.Stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `pitract — experiments for "Making Queries Tractable on Big Data with Preprocessing"
+func cmdList(args []string) int {
+	fs := flag.NewFlagSet("pitract list", flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprintln(fs.Output(), "usage: pitract list") }
+	if code := parseArgs(fs, args); code >= 0 {
+		return code
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "pitract list: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	for _, e := range pitract.Experiments() {
+		fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+	}
+	return 0
+}
+
+func cmdRun(args []string, full bool, parallel int) int {
+	fs := flag.NewFlagSet("pitract run", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: pitract run [-full] [-parallel N] <id>... | all")
+	}
+	fsFull := fs.Bool("full", full, "use Full (EXPERIMENTS.md) workload sizes instead of Quick")
+	fsParallel := fs.Int("parallel", parallel, "worker count for the parallel experiments (0 = one per CPU)")
+	if code := parseArgs(fs, args); code >= 0 {
+		return code
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "pitract run: need experiment ids or 'all'")
+		return 2
+	}
+	scale := pitract.ScaleQuick
+	if *fsFull {
+		scale = pitract.ScaleFull
+	}
+	pitract.SetExperimentParallelism(*fsParallel)
+	if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+		ids = ids[:0]
+		for _, e := range pitract.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		if err := pitract.RunExperiment(os.Stdout, id, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "pitract: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmdServe(args []string) int {
+	fs := flag.NewFlagSet("pitract serve", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR]")
+	}
+	addr := fs.String("addr", ":8080", "listen address")
+	data := fs.String("data", "", "snapshot directory for preprocessed stores (empty = in-memory only)")
+	if code := parseArgs(fs, args); code >= 0 {
+		return code
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "pitract serve: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	reg := pitract.NewStoreRegistry(*data)
+	srv := pitract.NewServer(reg, nil)
+	// Bind before announcing, so the "listening" line means the port is
+	// live (and reports the real port when -addr ends in :0).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)
+		return 1
+	}
+	persistence := "in-memory only (no -data directory)"
+	if *data != "" {
+		persistence = "snapshots under " + *data
+	}
+	schemes := make([]string, 0)
+	for name := range pitract.ServeCatalog() {
+		schemes = append(schemes, name)
+	}
+	sort.Strings(schemes)
+	fmt.Printf("pitract serve: listening on %s, %s\n", ln.Addr(), persistence)
+	fmt.Printf("  schemes: %s\n", strings.Join(schemes, ", "))
+	fmt.Printf("  POST /v1/datasets · GET /v1/datasets · POST /v1/query · POST /v1/query/batch · GET /v1/stats · GET /healthz\n")
+
+	// Graceful shutdown: SIGINT/SIGTERM drains in-flight requests.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)
+			return 1
+		}
+	case sig := <-sigCh:
+		fmt.Printf("pitract serve: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pitract serve: shutdown: %v\n", err)
+			return 1
+		}
+		// Serve returns nil after a clean Shutdown; anything else is a real
+		// listener failure that raced the signal and must not be masked.
+		if err := <-errCh; err != nil {
+			fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// parseArgs parses args with fs, routing -h/--help usage to stdout (exit
+// 0) and parse errors plus usage to stderr (exit 2). Returns -1 when
+// parsing succeeded and the caller should continue.
+func parseArgs(fs *flag.FlagSet, args []string) int {
+	// Parse silently; the switch below decides where output belongs —
+	// the flag package's default would send help to stderr.
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(args)
+	switch {
+	case err == nil:
+		fs.SetOutput(os.Stderr)
+		return -1
+	case err == flag.ErrHelp:
+		fs.SetOutput(os.Stdout)
+		fs.Usage()
+		return 0
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		fs.SetOutput(os.Stderr)
+		fs.Usage()
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `pitract — "Making Queries Tractable on Big Data with Preprocessing"
 
 usage:
   pitract list                              list experiments
-  pitract [-full] [-parallel N] run <id>... run experiments (or 'run all')
+  pitract run [-full] [-parallel N] <id>... run experiments (or 'run all')
+  pitract serve [-addr :8080] [-data DIR]   serve preprocessed stores over HTTP
 
 running in parallel:
   X1 races the goroutine-parallel PRAM executor against the sequential
-  oracle; X2 serves query batches through the AnswerBatch worker pool.
-  Both use one worker per CPU unless -parallel N overrides it.
+  oracle; X2 serves query batches through the AnswerBatch worker pool; X3
+  measures end-to-end HTTP serving. All use one worker per CPU unless
+  -parallel N overrides it.
+
+serving:
+  'pitract serve' exposes the preprocess-once/answer-many API: register a
+  dataset once (POST /v1/datasets), answer queries forever (POST /v1/query,
+  /v1/query/batch). With -data DIR, Π(D) is persisted as a checksummed
+  snapshot and reloaded on restart instead of recomputed.
 `)
 }

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestExitCodes pins the CLI contract: bad invocations exit 2 with a usage
+// message, failing runs exit 1, good ones 0. Unknown subcommands and flags
+// must never silently fall through.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no-args", nil, 2},
+		{"unknown-subcommand", []string{"frobnicate"}, 2},
+		{"unknown-top-flag", []string{"-bogus", "list"}, 2},
+		{"unknown-run-flag", []string{"run", "-bogus", "E1"}, 2},
+		{"unknown-serve-flag", []string{"serve", "-bogus"}, 2},
+		{"list-extra-args", []string{"list", "stray"}, 2},
+		{"serve-extra-args", []string{"serve", "stray"}, 2},
+		{"run-no-ids", []string{"run"}, 2},
+		{"run-unknown-id", []string{"run", "ZZ9"}, 1},
+		{"help", []string{"help"}, 0},
+		{"top-help-flag", []string{"-h"}, 0},
+		{"run-help-flag", []string{"run", "-h"}, 0},
+		{"serve-help-flag", []string{"serve", "--help"}, 0},
+		{"list", []string{"list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(c.args); got != c.want {
+				t.Fatalf("pitract %v: exit %d, want %d", c.args, got, c.want)
+			}
+		})
+	}
+}

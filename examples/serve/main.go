@@ -1,0 +1,143 @@
+// Serve: the preprocess-once/answer-many asymmetry on the network. This
+// example plays both roles in one process: it starts the pitract HTTP
+// server (the same subsystem behind `pitract serve`), then acts as a
+// client — registering a social-graph dataset once (paying the PTIME
+// preprocessing, persisted as a checksummed snapshot) and answering
+// reachability queries over HTTP, singly and in batches.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pitract"
+)
+
+func main() {
+	// --- server side: a registry with snapshot persistence, served on a
+	// random local port.
+	dir, err := os.MkdirTemp("", "pitract-serve-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	reg := pitract.NewStoreRegistry(dir)
+	srv := pitract.NewServer(reg, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s (snapshots in %s)\n", base, dir)
+
+	// --- client side: plain HTTP + JSON from here on.
+	// 25 communities of 80 users each: 2000 vertices.
+	g := pitract.CommunityGraph(25, 80, 60, 42)
+	post(base+"/v1/datasets", map[string]interface{}{
+		"id":     "social",
+		"scheme": "reachability/closure-matrix",
+		"data":   g.Encode(), // []byte travels base64-encoded
+	}, nil)
+	fmt.Printf("registered %d-vertex social graph — preprocessed once, server-side\n", 2000)
+
+	// One query: is user 7 connected to user 1900?
+	var one struct {
+		Answer bool `json:"answer"`
+	}
+	post(base+"/v1/query", map[string]interface{}{
+		"dataset": "social",
+		"query":   pitract.NodePairQuery(7, 1900),
+	}, &one)
+	fmt.Printf("reach(7 → 1900) = %v\n", one.Answer)
+
+	// A batch through the server's AnswerBatch worker pool.
+	queries := make([][]byte, 500)
+	for i := range queries {
+		queries[i] = pitract.NodePairQuery(i%2000, (i*37)%2000)
+	}
+	var batch struct {
+		Answers []bool `json:"answers"`
+	}
+	start := time.Now()
+	post(base+"/v1/query/batch", map[string]interface{}{
+		"dataset": "social",
+		"queries": queries,
+	}, &batch)
+	reachable := 0
+	for _, a := range batch.Answers {
+		if a {
+			reachable++
+		}
+	}
+	fmt.Printf("batch of %d queries in %v: %d reachable pairs\n",
+		len(queries), time.Since(start).Round(time.Microsecond), reachable)
+
+	// The serving counters.
+	var stats struct {
+		Datasets        int   `json:"datasets"`
+		PreprocessCalls int64 `json:"preprocess_calls"`
+		Queries         int64 `json:"queries"`
+	}
+	get(base+"/v1/stats", &stats)
+	fmt.Printf("stats: %d dataset(s), %d Preprocess call(s), %d queries served\n",
+		stats.Datasets, stats.PreprocessCalls, stats.Queries)
+
+	// Graceful shutdown: drain in-flight requests, then exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and stopped")
+}
+
+// post sends v as JSON and decodes the response into out (skipped if nil).
+func post(url string, v, out interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// get fetches url and decodes the JSON response into out.
+func get(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

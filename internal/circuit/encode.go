@@ -54,6 +54,12 @@ func Decode(buf []byte) (*Circuit, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A gate encodes to at least three bytes (kind, arg, fan-in), so bound
+	// the count by the remaining buffer before allocating — this decoder
+	// sees attacker-controlled bytes on the serve path.
+	if nGates > uint64(len(buf)-off)/3 {
+		return nil, fmt.Errorf("circuit: gate count %d exceeds remaining %d bytes", nGates, len(buf)-off)
+	}
 	c := &Circuit{NumInputs: int(numIn), Output: int32(output), Gates: make([]Gate, 0, nGates)}
 	for i := uint64(0); i < nGates; i++ {
 		if off >= len(buf) {

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPadPairRoundTrip checks the Lemma 2 padding is lossless: any (d, q)
+// encodes to a string UnpadPair splits back into exactly (d, q).
+func FuzzPadPairRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), []byte(nil))
+	f.Add([]byte("d"), []byte(""))
+	f.Add([]byte(""), []byte("q"))
+	f.Add([]byte("data with @ inside"), []byte("query@too"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), []byte{0x80, 0x00})
+
+	f.Fuzz(func(t *testing.T, d, q []byte) {
+		gd, gq, err := UnpadPair(PadPair(d, q))
+		if err != nil {
+			t.Fatalf("round trip errored: %v", err)
+		}
+		if !bytes.Equal(gd, d) || !bytes.Equal(gq, q) {
+			t.Fatalf("round trip changed the pair: (%x,%x) -> (%x,%x)", d, q, gd, gq)
+		}
+	})
+}
+
+// FuzzUnpadPair feeds the pair decoder arbitrary bytes: corrupt or
+// truncated inputs must error, never panic, and any accepted split must
+// itself survive a PadPair round trip.
+func FuzzUnpadPair(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(PadPair([]byte("d"), []byte("q")))
+	f.Add(PadPair(nil, nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // huge length prefix
+	f.Add([]byte{0x05, 'a'})                                                        // first length overruns
+	valid := PadPair([]byte("data"), []byte("query"))
+	f.Add(valid[:len(valid)-1])                        // truncated second component
+	f.Add(append(append([]byte(nil), valid...), 0xAA)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, x []byte) {
+		d, q, err := UnpadPair(x)
+		if err != nil {
+			return
+		}
+		gd, gq, err := UnpadPair(PadPair(d, q))
+		if err != nil {
+			t.Fatalf("accepted split does not re-encode: %v", err)
+		}
+		if !bytes.Equal(gd, d) || !bytes.Equal(gq, q) {
+			t.Fatalf("accepted split changed on re-encode: (%x,%x) -> (%x,%x)", d, q, gd, gq)
+		}
+	})
+}

@@ -31,6 +31,13 @@ func New(n int, directed bool) *Graph {
 	return &Graph{n: n, directed: directed, adj: make([][]int32, n), sorted: true}
 }
 
+// MaxDecodeVertices caps the vertex count Decode will accept. Vertices cost
+// no bytes in the wire format (only the varint count), so without a cap a
+// tiny buffer can demand an arbitrarily large adjacency allocation. 1<<24
+// is far above every workload in this repo while keeping the worst-case
+// allocation a few hundred MB instead of unbounded.
+const MaxDecodeVertices = 1 << 24
+
 // N reports the vertex count.
 func (g *Graph) N() int { return g.n }
 
@@ -165,6 +172,12 @@ func Decode(buf []byte) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bound the vertex count before allocating adjacency headers: a hostile
+	// dozen-byte buffer can claim 2^40 vertices and OOM-kill the process
+	// otherwise (the serve path feeds Decode attacker-controlled bytes).
+	if n64 > MaxDecodeVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds decode limit %d", n64, uint64(MaxDecodeVertices))
+	}
 	if off >= len(buf) {
 		return nil, fmt.Errorf("graph: truncated before orientation flag")
 	}
@@ -174,6 +187,11 @@ func Decode(buf []byte) (*Graph, error) {
 	m64, err := next()
 	if err != nil {
 		return nil, err
+	}
+	// Each encoded edge takes at least two bytes, so an edge count beyond
+	// half the remaining buffer is corrupt — reject it up front.
+	if m64 > uint64(len(buf)-off)/2 {
+		return nil, fmt.Errorf("graph: edge count %d exceeds remaining %d bytes", m64, len(buf)-off)
 	}
 	for i := uint64(0); i < m64; i++ {
 		u, err := next()

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -93,6 +94,25 @@ func TestDecodeRejectsCorrupt(t *testing.T) {
 		if _, err := Decode(bad); err == nil {
 			t.Errorf("corrupt input of length %d decoded", len(bad))
 		}
+	}
+}
+
+// TestDecodeRejectsHostileCounts: a tiny buffer claiming a huge vertex or
+// edge count must error cleanly before allocating, never OOM or hang — the
+// serving subsystem feeds Decode attacker-controlled bytes.
+func TestDecodeRejectsHostileCounts(t *testing.T) {
+	hugeN := binary.AppendUvarint(nil, 1<<40) // 2^40 vertices…
+	hugeN = append(hugeN, 1)                  // directed
+	hugeN = binary.AppendUvarint(hugeN, 0)    // …0 edges, ~12 bytes total
+	if _, err := Decode(hugeN); err == nil {
+		t.Fatal("2^40-vertex claim decoded")
+	}
+
+	hugeM := binary.AppendUvarint(nil, 4) // 4 vertices
+	hugeM = append(hugeM, 1)
+	hugeM = binary.AppendUvarint(hugeM, 1<<50) // 2^50 edges in no bytes
+	if _, err := Decode(hugeM); err == nil {
+		t.Fatal("2^50-edge claim decoded")
 	}
 }
 

@@ -128,6 +128,12 @@ func Decode(buf []byte) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each attribute costs at least two bytes (name + kind), so bound the
+	// count by the remaining buffer before allocating — this decoder sees
+	// attacker-controlled bytes on the serve path.
+	if nattrs > uint64(len(buf)-d.off)/2 {
+		return nil, fmt.Errorf("relation: attribute count %d exceeds remaining %d bytes", nattrs, len(buf)-d.off)
+	}
 	attrs := make([]Attr, 0, nattrs)
 	for i := uint64(0); i < nattrs; i++ {
 		an, err := d.str()
@@ -151,6 +157,12 @@ func Decode(buf []byte) (*Relation, error) {
 	ntuples, err := d.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	// Every tuple costs at least one byte per attribute; bounding by the
+	// remaining buffer also rejects a hostile huge count on a zero-attr
+	// schema, which would otherwise loop (and allocate) byte-free.
+	if ntuples > uint64(len(buf)-d.off) {
+		return nil, fmt.Errorf("relation: tuple count %d exceeds remaining %d bytes", ntuples, len(buf)-d.off)
 	}
 	for i := uint64(0); i < ntuples; i++ {
 		t := make(Tuple, len(attrs))

@@ -196,6 +196,12 @@ func DecodeList(d []byte) ([]int64, error) {
 		return nil, fmt.Errorf("schemes: corrupt list header")
 	}
 	off := k
+	// Each entry takes at least one byte, so a count beyond the remaining
+	// buffer is corrupt — reject before allocating (the serve path hands
+	// this decoder attacker-controlled bytes).
+	if n > uint64(len(d)-off) {
+		return nil, fmt.Errorf("schemes: list count %d exceeds remaining %d bytes", n, len(d)-off)
+	}
 	out := make([]int64, 0, n)
 	for i := uint64(0); i < n; i++ {
 		v, k := binary.Varint(d[off:])

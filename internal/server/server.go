@@ -1,0 +1,391 @@
+// Package server exposes a registry of preprocessed stores as an HTTP JSON
+// API — the serving face of the paper's preprocess-once/answer-many
+// asymmetry. A dataset is POSTed once, paying the PTIME preprocessing (or a
+// snapshot reload) up front; every query thereafter rides the NC answering
+// path, and batches go through the same AnswerBatch worker pools the
+// library uses in-process.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness + dataset count
+//	POST /v1/datasets      register (and preprocess) a dataset
+//	GET  /v1/datasets      list registered datasets
+//	POST /v1/query         answer one query
+//	POST /v1/query/batch   answer a batch through the worker pool
+//	GET  /v1/stats         per-scheme query counts and latency totals
+//
+// Data and queries travel base64-encoded (encoding/json's []byte rule), so
+// the wire format is exactly the library's byte-string instance encoding.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pitract/internal/core"
+	"pitract/internal/schemes"
+	"pitract/internal/store"
+)
+
+// Catalog returns the schemes a server offers for registration, keyed by
+// scheme name. It covers every decision scheme from the paper's case
+// studies that answers against a preprocessed store.
+func Catalog() map[string]*core.Scheme {
+	cat := map[string]*core.Scheme{}
+	for _, s := range []*core.Scheme{
+		schemes.PointSelectionScheme(),
+		schemes.PointSelectionScanScheme(),
+		schemes.RangeSelectionScheme(),
+		schemes.ListMembershipScheme(),
+		schemes.ReachabilityScheme(),
+		schemes.ReachabilityBFSScheme(),
+		schemes.BDSScheme(),
+		schemes.CVPGateValueScheme(),
+	} {
+		cat[s.Name()] = s
+	}
+	return cat
+}
+
+// maxBodyBytes caps request bodies: registration data and query batches
+// are buffered in memory, so an unbounded body is an invitation to exhaust
+// it. 64 MiB fits every workload in this repository with room to spare.
+const maxBodyBytes = 64 << 20
+
+// maxBatchParallelism caps the client-supplied worker count for batch
+// answering; AnswerBatch only clamps to len(queries), so without a
+// server-side bound one request could demand a goroutine per query.
+const maxBatchParallelism = 256
+
+// schemeStats accumulates serving counters for one scheme.
+type schemeStats struct {
+	Queries   int64 `json:"queries"`
+	Errors    int64 `json:"errors"`
+	LatencyNs int64 `json:"latency_ns"`
+}
+
+// Server serves a store.Registry over HTTP.
+type Server struct {
+	reg     *store.Registry
+	catalog map[string]*core.Scheme
+	mux     *http.ServeMux
+
+	statsMu sync.Mutex
+	stats   map[string]*schemeStats
+
+	// httpSrv is created in New so Shutdown always has a target, even when
+	// it races the start of Serve (http.Server.Shutdown before Serve makes
+	// the later Serve return ErrServerClosed immediately).
+	httpSrv *http.Server
+}
+
+// New returns a server over reg. catalog maps the scheme names clients may
+// register with; nil selects Catalog().
+func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
+	if catalog == nil {
+		catalog = Catalog()
+	}
+	s := &Server{
+		reg:     reg,
+		catalog: catalog,
+		mux:     http.NewServeMux(),
+		stats:   map[string]*schemeStats{},
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/query/batch", s.handleQueryBatch)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Registry returns the registry the server answers from.
+func (s *Server) Registry() *store.Registry { return s.reg }
+
+// Handler returns the HTTP handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Serve accepts connections on l until Shutdown. It is the blocking core
+// of ListenAndServe, split out so callers can listen on ":0" and learn the
+// port first. Each Server serves one listener lifetime: after Shutdown,
+// make a new Server rather than calling Serve again.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe serves on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops a Serve/ListenAndServe in progress: in-flight
+// requests finish (bounded by ctx), new connections are refused. Calling
+// it before Serve starts is safe — the pending Serve then returns
+// immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// --- wire types ---------------------------------------------------------------
+
+// RegisterRequest registers a dataset: raw data bytes plus the scheme that
+// should preprocess and answer it.
+type RegisterRequest struct {
+	ID     string `json:"id"`
+	Scheme string `json:"scheme"`
+	Data   []byte `json:"data"`
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	ID        string `json:"id"`
+	Scheme    string `json:"scheme"`
+	PrepBytes int    `json:"prep_bytes"`
+	// Loaded is true when Π(D) came from a snapshot instead of a fresh
+	// Preprocess call.
+	Loaded bool `json:"loaded"`
+}
+
+// QueryRequest answers one query against a registered dataset.
+type QueryRequest struct {
+	Dataset string `json:"dataset"`
+	Query   []byte `json:"query"`
+}
+
+// QueryResponse is one verdict.
+type QueryResponse struct {
+	Answer bool `json:"answer"`
+}
+
+// BatchRequest answers many queries through the AnswerBatch worker pool.
+type BatchRequest struct {
+	Dataset string   `json:"dataset"`
+	Queries [][]byte `json:"queries"`
+	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS, and the
+	// server caps it at maxBatchParallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// BatchResponse carries the verdicts in query order.
+type BatchResponse struct {
+	Answers []bool `json:"answers"`
+}
+
+// StatsResponse reports serving counters since process start.
+type StatsResponse struct {
+	Datasets        int                    `json:"datasets"`
+	PreprocessCalls int64                  `json:"preprocess_calls"`
+	SnapshotLoads   int64                  `json:"snapshot_loads"`
+	Queries         int64                  `json:"queries"`
+	PerScheme       map[string]schemeStats `json:"per_scheme"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers -----------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   "ok",
+		"datasets": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req RegisterRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.ID == "" {
+			writeError(w, http.StatusBadRequest, "missing dataset id")
+			return
+		}
+		scheme, ok := s.catalog[req.Scheme]
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown scheme %q (have %v)", req.Scheme, s.schemeNames())
+			return
+		}
+		st, err := s.reg.Register(req.ID, scheme, req.Data)
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DatasetInfo{
+			ID: st.ID, Scheme: st.Scheme.Name(), PrepBytes: len(st.Prep), Loaded: st.Loaded,
+		})
+	case http.MethodGet:
+		infos := []DatasetInfo{}
+		for _, id := range s.reg.IDs() {
+			if st, ok := s.reg.Get(id); ok {
+				infos = append(infos, DatasetInfo{
+					ID: st.ID, Scheme: st.Scheme.Name(), PrepBytes: len(st.Prep), Loaded: st.Loaded,
+				})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": infos})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// lookup resolves a dataset for the answer paths.
+func (s *Server) lookup(w http.ResponseWriter, dataset string) (*store.Store, bool) {
+	if dataset == "" {
+		writeError(w, http.StatusBadRequest, "missing dataset id")
+		return nil, false
+	}
+	st, ok := s.reg.Get(dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not registered", dataset)
+		return nil, false
+	}
+	return st, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	st, ok := s.lookup(w, req.Dataset)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	ans, err := st.Answer(req.Query)
+	served := 1
+	if err != nil {
+		served = 0 // match the batch path: failed queries count as errors, not served queries
+	}
+	s.record(st.Scheme.Name(), served, time.Since(start), err)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Answer: ans})
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	st, ok := s.lookup(w, req.Dataset)
+	if !ok {
+		return
+	}
+	parallelism := req.Parallelism
+	if parallelism > maxBatchParallelism {
+		parallelism = maxBatchParallelism
+	}
+	start := time.Now()
+	answers, err := st.AnswerBatch(req.Queries, parallelism)
+	// Count only queries actually answered: AnswerBatch fails fast and
+	// returns no answers on error, so a failed batch must not inflate the
+	// served-query counter.
+	s.record(st.Scheme.Name(), len(answers), time.Since(start), err)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Answers: answers})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := StatsResponse{
+		Datasets:        s.reg.Len(),
+		PreprocessCalls: s.reg.PreprocessCount(),
+		SnapshotLoads:   s.reg.LoadCount(),
+		PerScheme:       map[string]schemeStats{},
+	}
+	s.statsMu.Lock()
+	for name, st := range s.stats {
+		resp.PerScheme[name] = *st
+		resp.Queries += st.Queries
+	}
+	s.statsMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// record folds one answer-path call into the per-scheme counters.
+func (s *Server) record(scheme string, queries int, elapsed time.Duration, err error) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := s.stats[scheme]
+	if st == nil {
+		st = &schemeStats{}
+		s.stats[scheme] = st
+	}
+	st.Queries += int64(queries)
+	st.LatencyNs += elapsed.Nanoseconds()
+	if err != nil {
+		st.Errors++
+	}
+}
+
+func (s *Server) schemeNames() []string {
+	names := make([]string, 0, len(s.catalog))
+	for n := range s.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

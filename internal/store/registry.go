@@ -1,0 +1,199 @@
+package store
+
+import (
+	"fmt"
+	"net/url"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pitract/internal/core"
+)
+
+// Registry maps dataset IDs to preprocessed stores. Registering a dataset
+// preprocesses it exactly once — concurrent registrations of the same ID
+// share one Preprocess call and all receive the same memoized store — and,
+// when the registry has a data directory, persists the result as a snapshot
+// so a restarted process reloads Π(D) instead of recomputing it.
+//
+// The registry is safe for concurrent use; Answer paths never hold the
+// registry lock (the store's preprocessed bytes are immutable).
+type Registry struct {
+	dir string // "" = memory-only, no persistence
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+
+	preprocessCount atomic.Int64
+	loadCount       atomic.Int64
+}
+
+// regEntry is a future for one dataset: done closes once store/err are set,
+// so concurrent registrations of the same ID wait instead of preprocessing
+// again.
+type regEntry struct {
+	done  chan struct{}
+	store *Store
+	err   error
+}
+
+// NewRegistry returns a registry persisting snapshots under dir; dir == ""
+// keeps every store in memory only.
+func NewRegistry(dir string) *Registry {
+	return &Registry{dir: dir, entries: map[string]*regEntry{}}
+}
+
+// Dir reports the snapshot directory ("" when memory-only).
+func (r *Registry) Dir() string { return r.dir }
+
+// snapshotPath maps a dataset ID to its snapshot file. IDs are arbitrary
+// strings, so the filename is the ID path-escaped (keeps readable IDs
+// readable, makes hostile ones safe).
+func (r *Registry) snapshotPath(id string) string {
+	return filepath.Join(r.dir, url.PathEscape(id)+".pitract")
+}
+
+// Register returns the preprocessed store for id, creating it on first
+// call: reload from a fresh snapshot if the registry is persistent and one
+// matches (same scheme, same data digest), otherwise run scheme.Preprocess
+// and persist the result. Re-registering an existing id with the same
+// scheme and the same data returns the memoized store; a different scheme
+// name or a different data digest is an error rather than a silent
+// answer-path swap or a stale Π(D) served as fresh.
+func (r *Registry) Register(id string, scheme *core.Scheme, data []byte) (st *Store, err error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("store: register %q: nil scheme", id)
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		r.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		if e.store.Scheme.Name() != scheme.Name() {
+			return nil, fmt.Errorf("store: dataset %q already registered with scheme %s (got %s)",
+				id, e.store.Scheme.Name(), scheme.Name())
+		}
+		if e.store.DataSum != SumData(data) {
+			return nil, fmt.Errorf("store: dataset %q already registered with different data (re-register under a new id)", id)
+		}
+		return e.store, nil
+	}
+	e := &regEntry{done: make(chan struct{})}
+	r.entries[id] = e
+	r.mu.Unlock()
+
+	// The deferred block must run even if build panics (a scheme Preprocess
+	// on hostile data can, e.g. makeslice out of range): otherwise e.done is
+	// never closed and every future Register/Get for this id blocks forever.
+	// The panic is converted to an error so one bad registration cannot
+	// wedge the dataset or kill a serving process.
+	defer func() {
+		if p := recover(); p != nil {
+			e.err = fmt.Errorf("store: register %q: preprocess (%s) panicked: %v", id, scheme.Name(), p)
+		}
+		if e.err != nil {
+			// Failed registrations are not memoized: drop the entry so a
+			// later attempt (fixed data, fixed scheme) can retry.
+			e.store = nil
+			r.mu.Lock()
+			delete(r.entries, id)
+			r.mu.Unlock()
+		}
+		close(e.done)
+		st, err = e.store, e.err
+	}()
+	e.store, e.err = r.build(id, scheme, data)
+	return e.store, e.err
+}
+
+// build produces the store for one first-time registration.
+func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, error) {
+	sum := SumData(data)
+	if r.dir != "" {
+		if snap, err := Load(r.snapshotPath(id)); err == nil &&
+			snap.SchemeName == scheme.Name() && snap.DataSum == sum {
+			r.loadCount.Add(1)
+			return &Store{ID: id, Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true}, nil
+		}
+	}
+	pd, err := scheme.Preprocess(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: register %q: preprocess (%s): %w", id, scheme.Name(), err)
+	}
+	r.preprocessCount.Add(1)
+	st := &Store{ID: id, Scheme: scheme, Prep: pd, DataSum: sum}
+	if r.dir != "" {
+		if err := Save(r.snapshotPath(id), st.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Get returns the store registered under id, if any. Registrations still
+// in flight count as present: Get waits for them, so a Get racing a
+// Register never observes a half-built store.
+func (r *Registry) Get(id string) (*Store, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	<-e.done
+	if e.err != nil {
+		return nil, false
+	}
+	return e.store, true
+}
+
+// IDs returns the completed dataset IDs, sorted. Registrations still in
+// flight are omitted rather than waited for, so listing (and the server's
+// health endpoint) never blocks behind a long Preprocess.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.entries))
+	for id, e := range r.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				ids = append(ids, id)
+			}
+		default: // still preprocessing
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len reports the number of successfully registered datasets. Unlike IDs it
+// allocates nothing — it sits on the /healthz and /v1/stats hot paths.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default: // still preprocessing
+		}
+	}
+	return n
+}
+
+// PreprocessCount reports how many Preprocess calls this registry has run —
+// the preprocess-once contract's observable: it stays at one per distinct
+// dataset no matter how many registrations or restarts-with-snapshots
+// happen.
+func (r *Registry) PreprocessCount() int64 { return r.preprocessCount.Load() }
+
+// LoadCount reports how many stores were reloaded from snapshots instead of
+// preprocessed.
+func (r *Registry) LoadCount() int64 { return r.loadCount.Load() }

@@ -1,0 +1,211 @@
+// Package store persists preprocessed stores and serves them from a
+// registry. The paper's asymmetry — pay PTIME preprocessing once, then
+// answer every query within the NC budget — only pays off in a system when
+// Π(D) outlives the process that computed it. This package makes Π(D) a
+// durable artifact: a versioned, checksummed snapshot file that can be
+// written once and reloaded across restarts, plus a thread-safe Registry
+// that maps dataset IDs to preprocessed stores, preprocessing on first
+// registration and memoizing (and optionally persisting) thereafter.
+//
+// The snapshot format is deliberately dumb: magic, format version, a CRC-32
+// of the payload, then the scheme name, free-text notes, a SHA-256 of the
+// raw data the store was preprocessed from, and the preprocessed bytes —
+// the fields framed with the same self-delimiting pair codec (core.PadPair)
+// the formal framework uses for instance encoding. Corrupt or truncated
+// files are rejected with errors, never panics (see the fuzz harness).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"pitract/internal/core"
+)
+
+// snapshotMagic opens every snapshot file. The trailing byte is the format
+// version; bump it when the payload layout changes.
+var snapshotMagic = []byte("PITRACTS\x01")
+
+// DataChecksum is the SHA-256 digest of the raw (pre-preprocessing) data a
+// snapshot was built from. Open uses it to detect stale snapshots: when the
+// data under a dataset ID changes, the old Π(D) is silently invalid, so the
+// digest — not the file's existence — decides whether a reload is sound.
+type DataChecksum = [sha256.Size]byte
+
+// Snapshot is one persisted preprocessed store: which scheme produced it,
+// human-readable notes (the scheme's complexity annotations by default), the
+// digest of the data it was preprocessed from, and Π(D) itself.
+type Snapshot struct {
+	SchemeName string
+	Notes      string
+	DataSum    DataChecksum
+	Prep       []byte
+}
+
+// EncodeSnapshot renders a snapshot in the versioned on-disk format:
+//
+//	magic ‖ version ‖ crc32(payload) ‖ payload
+//	payload = PadPair(PadPair(scheme, notes), PadPair(dataSum, prep))
+func EncodeSnapshot(s *Snapshot) []byte {
+	header := core.PadPair([]byte(s.SchemeName), []byte(s.Notes))
+	body := core.PadPair(s.DataSum[:], s.Prep)
+	payload := core.PadPair(header, body)
+	out := make([]byte, 0, len(snapshotMagic)+4+len(payload))
+	out = append(out, snapshotMagic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// DecodeSnapshot parses the versioned format. Any deviation — wrong magic,
+// wrong version, bad checksum, truncated or malformed payload — is an
+// error; DecodeSnapshot never panics on hostile input.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapshotMagic)+4 {
+		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(b))
+	}
+	for i, m := range snapshotMagic {
+		if b[i] != m {
+			return nil, fmt.Errorf("store: bad snapshot magic/version (offset %d)", i)
+		}
+	}
+	want := binary.BigEndian.Uint32(b[len(snapshotMagic):])
+	payload := b[len(snapshotMagic)+4:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	header, body, err := core.UnpadPair(payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot payload: %w", err)
+	}
+	scheme, notes, err := core.UnpadPair(header)
+	if err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot header: %w", err)
+	}
+	sum, prep, err := core.UnpadPair(body)
+	if err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot body: %w", err)
+	}
+	s := &Snapshot{
+		SchemeName: string(scheme),
+		Notes:      string(notes),
+		Prep:       append([]byte(nil), prep...),
+	}
+	if len(sum) != len(s.DataSum) {
+		return nil, fmt.Errorf("store: data checksum is %d bytes, want %d", len(sum), len(s.DataSum))
+	}
+	copy(s.DataSum[:], sum)
+	return s, nil
+}
+
+// Save writes a snapshot atomically: encode, write to a temp file in the
+// target directory, fsync, rename. A crash mid-save leaves either the old
+// snapshot or none — never a torn file (the checksum catches torn files
+// from less careful writers).
+func Save(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".pitract-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(EncodeSnapshot(s)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads and validates a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	s, err := DecodeSnapshot(b)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// SumData digests raw data for snapshot freshness checks.
+func SumData(data []byte) DataChecksum { return sha256.Sum256(data) }
+
+// Store is one preprocessed store ready to answer queries: a scheme plus
+// its immutable Π(D). Any number of goroutines may call Answer or
+// AnswerBatch concurrently (the scheme concurrency contract, core/batch.go).
+type Store struct {
+	// ID is the dataset identifier the store was registered under ("" for
+	// stores opened directly from a path).
+	ID string
+	// Scheme is the Π-tractability scheme that produced — and answers
+	// against — the preprocessed bytes.
+	Scheme *core.Scheme
+	// Prep is Π(D), immutable after construction.
+	Prep []byte
+	// DataSum digests the raw data Prep was preprocessed from.
+	DataSum DataChecksum
+	// Loaded reports whether Prep came from a snapshot file (true) or a
+	// fresh Preprocess call (false).
+	Loaded bool
+}
+
+// Answer decides one query against the preprocessed store.
+func (st *Store) Answer(q []byte) (bool, error) {
+	return st.Scheme.Answer(st.Prep, q)
+}
+
+// AnswerBatch answers queries concurrently through the scheme's worker
+// pool; parallelism <= 0 selects GOMAXPROCS.
+func (st *Store) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
+	return st.Scheme.AnswerBatch(st.Prep, queries, parallelism)
+}
+
+// Snapshot renders the store as a persistable snapshot.
+func (st *Store) Snapshot() *Snapshot {
+	return &Snapshot{
+		SchemeName: st.Scheme.Name(),
+		Notes:      st.Scheme.PreprocessNote + " / " + st.Scheme.AnswerNote,
+		DataSum:    st.DataSum,
+		Prep:       st.Prep,
+	}
+}
+
+// Open returns a preprocessed store for (scheme, data), reusing the
+// snapshot at path when it is fresh: same scheme name and same data
+// digest. Otherwise it preprocesses, saves the new snapshot to path, and
+// returns the fresh store. This is the single-store face of the
+// preprocess-once contract; Registry does the same per dataset ID.
+func Open(path string, scheme *core.Scheme, data []byte) (*Store, error) {
+	sum := SumData(data)
+	if snap, err := Load(path); err == nil &&
+		snap.SchemeName == scheme.Name() && snap.DataSum == sum {
+		return &Store{Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true}, nil
+	}
+	pd, err := scheme.Preprocess(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: preprocess (%s): %w", path, scheme.Name(), err)
+	}
+	st := &Store{Scheme: scheme, Prep: pd, DataSum: sum}
+	if err := Save(path, st.Snapshot()); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot feeds the snapshot decoder arbitrary bytes: it must
+// either return an error or a snapshot whose re-encoding decodes to the
+// same fields — and it must never panic. The seed corpus (valid snapshots
+// plus characteristic corruptions) runs on every plain `go test`;
+// `go test -fuzz=FuzzDecodeSnapshot ./internal/store` explores further.
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := EncodeSnapshot(&Snapshot{
+		SchemeName: "point-selection/sorted-keys",
+		Notes:      "O(|D| log |D|) / O(log |D|)",
+		DataSum:    SumData([]byte("data")),
+		Prep:       []byte{1, 2, 3},
+	})
+	f.Add(valid)
+	f.Add(EncodeSnapshot(&Snapshot{}))
+	f.Add([]byte{})
+	f.Add([]byte("PITRACTS"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil snapshot")
+			}
+			return
+		}
+		re, err := DecodeSnapshot(EncodeSnapshot(s))
+		if err != nil {
+			t.Fatalf("re-encoding a decoded snapshot failed to decode: %v", err)
+		}
+		if re.SchemeName != s.SchemeName || re.Notes != s.Notes ||
+			re.DataSum != s.DataSum || !bytes.Equal(re.Prep, s.Prep) {
+			t.Fatalf("round trip changed fields: %+v vs %+v", re, s)
+		}
+	})
+}

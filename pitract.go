@@ -28,6 +28,13 @@
 // batches of queries can be served concurrently from one preprocessed
 // store (AnswerBatch; experiments X1 and X2 measure both).
 //
+// The serving subsystem makes Π(D) a durable artifact and puts it on the
+// network: OpenStore/StoreRegistry persist preprocessed stores as
+// versioned, checksummed snapshots (computed once, reloaded across process
+// restarts), and NewServer exposes a registry as an HTTP JSON API — the
+// `pitract serve` subcommand; experiment X3 measures the served path
+// against direct Answer calls.
+//
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
 // results.
 package pitract
@@ -44,6 +51,8 @@ import (
 	"pitract/internal/pram"
 	"pitract/internal/relation"
 	"pitract/internal/schemes"
+	"pitract/internal/server"
+	"pitract/internal/store"
 	"pitract/internal/tm"
 	"pitract/internal/topk"
 	"pitract/internal/views"
@@ -180,6 +189,46 @@ var SetExperimentParallelism = harness.SetParallelism
 // ExperimentParallelism reports the effective worker count for the
 // parallel experiments.
 var ExperimentParallelism = harness.Parallelism
+
+// --- persistence and serving (internal/store, internal/server) -----------------
+
+type (
+	// Store is one preprocessed store: a scheme plus its immutable Π(D),
+	// ready to answer from any number of goroutines.
+	Store = store.Store
+	// StoreSnapshot is the versioned, checksummed on-disk form of a
+	// preprocessed store. (Distinct from the Figure 2 Registry type above:
+	// that registry catalogues query classes, this subsystem catalogues
+	// preprocessed datasets.)
+	StoreSnapshot = store.Snapshot
+	// StoreRegistry maps dataset IDs to preprocessed stores, preprocessing
+	// exactly once per dataset and optionally persisting snapshots.
+	StoreRegistry = store.Registry
+	// Server serves a StoreRegistry over an HTTP JSON API (see the pitract
+	// CLI's serve subcommand and examples/serve).
+	Server = server.Server
+)
+
+var (
+	// OpenStore returns a preprocessed store for (scheme, data), reloading
+	// the snapshot at path when it matches (same scheme, same data digest)
+	// and preprocessing + saving otherwise — the single-store face of the
+	// preprocess-once contract.
+	OpenStore = store.Open
+	// NewStoreRegistry returns a registry persisting snapshots under dir
+	// ("" = in-memory only).
+	NewStoreRegistry = store.NewRegistry
+	// SaveSnapshot writes a snapshot atomically.
+	SaveSnapshot = store.Save
+	// LoadSnapshot reads and validates a snapshot file.
+	LoadSnapshot = store.Load
+	// NewServer returns an HTTP server over a registry; a nil catalog
+	// selects ServeCatalog.
+	NewServer = server.New
+	// ServeCatalog lists the schemes a server offers for registration,
+	// keyed by scheme name.
+	ServeCatalog = server.Catalog
+)
 
 // --- the PRAM engine (internal/pram) -------------------------------------------
 

@@ -6,6 +6,10 @@ package pitract
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -128,8 +132,8 @@ func TestRunExperimentAndErrors(t *testing.T) {
 		t.Fatalf("error %v does not name the id", err)
 	}
 	_ = unknown
-	if len(Experiments()) != 25 {
-		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1/X2", len(Experiments()))
+	if len(Experiments()) != 26 {
+		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1/X2/X3", len(Experiments()))
 	}
 }
 
@@ -234,5 +238,76 @@ func TestFacadeConcurrentEngine(t *testing.T) {
 	}
 	if ExperimentParallelism() < 1 {
 		t.Fatal("ExperimentParallelism must be ≥ 1")
+	}
+}
+
+// TestFacadeServingFlow drives the serving subsystem through the public
+// API alone: open a persisted store, restart it from its snapshot, serve
+// it over HTTP, and answer identically on every path.
+func TestFacadeServingFlow(t *testing.T) {
+	dir := t.TempDir()
+	rel := GenerateRelation(RelationGenConfig{Rows: 500, Seed: 3, KeyMax: 1000})
+	d := rel.Encode()
+	scheme := PointSelectionScheme()
+
+	path := filepath.Join(dir, "rel.pitract")
+	st, err := OpenStore(path, scheme, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loaded {
+		t.Fatal("first OpenStore claims a snapshot reload")
+	}
+	st2, err := OpenStore(path, scheme, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Loaded || !bytes.Equal(st.Prep, st2.Prep) {
+		t.Fatal("second OpenStore did not reload the identical snapshot")
+	}
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemeName != scheme.Name() || !bytes.Equal(snap.Prep, st.Prep) {
+		t.Fatal("LoadSnapshot disagrees with OpenStore")
+	}
+
+	reg := NewStoreRegistry("")
+	srv := NewServer(reg, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]interface{}{
+		"id": "rel", "scheme": scheme.Name(), "data": d,
+	})
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+	for c := int64(0); c < 20; c++ {
+		q := PointQuery(c * 31)
+		want, err := st.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(map[string]interface{}{"dataset": "rel", "query": q})
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Answer bool `json:"answer"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.Answer != want {
+			t.Fatalf("query %d: served %v, store says %v", c, out.Answer, want)
+		}
 	}
 }
