@@ -60,6 +60,30 @@ func BenchmarkA3_RMQAblation(b *testing.B)       { benchExperiment(b, "A3") }
 func BenchmarkX1_ParallelPRAM(b *testing.B)      { benchExperiment(b, "X1") }
 func BenchmarkX2_BatchAnswering(b *testing.B)    { benchExperiment(b, "X2") }
 func BenchmarkX3_Serving(b *testing.B)           { benchExperiment(b, "X3") }
+func BenchmarkX4_Sharding(b *testing.B)          { benchExperiment(b, "X4") }
+
+// BenchmarkOpShardedReachAnswer measures one sharded reachability answer
+// (4 range-partitioned shards, fan-out + portal merge) against the same
+// query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the
+// sharding overhead per query is visible next to the O(1) unsharded read.
+func BenchmarkOpShardedReachAnswer(b *testing.B) {
+	g := CommunityGraph(8, 128, 256, 9)
+	ss, err := BuildShardedStore("bench", ReachabilityScheme(), NewRangePartitioner(), 4, g.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(6))
+	for i := range queries {
+		queries[i] = NodePairQuery(rng.Intn(g.N()), rng.Intn(g.N()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ss.Answer(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- per-operation benchmarks: the answering paths ---------------------------
 

@@ -140,10 +140,12 @@ func cmdRun(args []string, full bool, parallel int) int {
 func cmdServe(args []string) int {
 	fs := flag.NewFlagSet("pitract serve", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR]")
+		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]")
 	}
 	addr := fs.String("addr", ":8080", "listen address")
 	data := fs.String("data", "", "snapshot directory for preprocessed stores (empty = in-memory only)")
+	shards := fs.Int("shards", 0, "default shard count for registered datasets (0 or 1 = unsharded; per-request ?shards=N overrides)")
+	partitioner := fs.String("partitioner", "hash", "default partitioner for sharded datasets: hash or range")
 	if code := parseArgs(fs, args); code >= 0 {
 		return code
 	}
@@ -154,6 +156,10 @@ func cmdServe(args []string) int {
 
 	reg := pitract.NewStoreRegistry(*data)
 	srv := pitract.NewServer(reg, nil)
+	if err := srv.SetDefaultSharding(*shards, *partitioner); err != nil {
+		fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)
+		return 2
+	}
 	// Bind before announcing, so the "listening" line means the port is
 	// live (and reports the real port when -addr ends in :0).
 	ln, err := net.Listen("tcp", *addr)
@@ -164,6 +170,9 @@ func cmdServe(args []string) int {
 	persistence := "in-memory only (no -data directory)"
 	if *data != "" {
 		persistence = "snapshots under " + *data
+	}
+	if *shards > 1 {
+		persistence += fmt.Sprintf(", datasets %s-partitioned across %d shards by default", *partitioner, *shards)
 	}
 	schemes := make([]string, 0)
 	for name := range pitract.ServeCatalog() {
@@ -233,18 +242,22 @@ func usage(w io.Writer) {
 usage:
   pitract list                              list experiments
   pitract run [-full] [-parallel N] <id>... run experiments (or 'run all')
-  pitract serve [-addr :8080] [-data DIR]   serve preprocessed stores over HTTP
+  pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]
+                                            serve preprocessed stores over HTTP
 
 running in parallel:
   X1 races the goroutine-parallel PRAM executor against the sequential
   oracle; X2 serves query batches through the AnswerBatch worker pool; X3
-  measures end-to-end HTTP serving. All use one worker per CPU unless
-  -parallel N overrides it.
+  measures end-to-end HTTP serving; X4 measures sharded preprocessing and
+  serving. All use one worker per CPU unless -parallel N overrides it.
 
 serving:
   'pitract serve' exposes the preprocess-once/answer-many API: register a
   dataset once (POST /v1/datasets), answer queries forever (POST /v1/query,
   /v1/query/batch). With -data DIR, Π(D) is persisted as a checksummed
-  snapshot and reloaded on restart instead of recomputed.
+  snapshot and reloaded on restart instead of recomputed. With -shards N
+  (or per-request ?shards=N), a dataset is partitioned across N
+  preprocessed stores and queries are routed to the owning shard or fanned
+  out and merged; see docs/ARCHITECTURE.md and docs/API.md.
 `)
 }

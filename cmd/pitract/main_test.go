@@ -16,6 +16,8 @@ func TestExitCodes(t *testing.T) {
 		{"unknown-top-flag", []string{"-bogus", "list"}, 2},
 		{"unknown-run-flag", []string{"run", "-bogus", "E1"}, 2},
 		{"unknown-serve-flag", []string{"serve", "-bogus"}, 2},
+		{"serve-bad-partitioner", []string{"serve", "-shards", "2", "-partitioner", "zodiac"}, 2},
+		{"serve-shards-over-cap", []string{"serve", "-shards", "100000"}, 2},
 		{"list-extra-args", []string{"list", "stray"}, 2},
 		{"serve-extra-args", []string{"serve", "stray"}, 2},
 		{"run-no-ids", []string{"run"}, 2},

@@ -1,0 +1,204 @@
+package pitract_test
+
+// Documentation verification. docs/ARCHITECTURE.md points into the code
+// and docs/API.md quotes wire examples; both claims are cheap to break
+// silently, so these tests pin them: every repository path the
+// architecture doc references must exist, and every API example must be
+// reproduced character-for-character by a live test server.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pitract"
+)
+
+// repoPathPattern matches repository-relative code pointers in prose:
+// package directories and files under internal/, cmd/, examples/, docs/,
+// plus the root facade and this test file.
+var repoPathPattern = regexp.MustCompile(`(?:internal|cmd|examples|docs)/[A-Za-z0-9_./-]+[A-Za-z0-9_-]|pitract\.go|docs_test\.go|README\.md|ROADMAP\.md`)
+
+// TestArchitectureDocPathsExist keeps docs/ARCHITECTURE.md's code
+// pointers honest: every referenced path must exist in the repository.
+func TestArchitectureDocPathsExist(t *testing.T) {
+	for _, docFile := range []string{"docs/ARCHITECTURE.md", "docs/API.md", "README.md"} {
+		doc, err := os.ReadFile(docFile)
+		if err != nil {
+			t.Fatalf("%s missing: %v", docFile, err)
+		}
+		refs := repoPathPattern.FindAllString(string(doc), -1)
+		if len(refs) == 0 {
+			t.Fatalf("%s references no code paths — the pattern or the doc is broken", docFile)
+		}
+		seen := map[string]bool{}
+		for _, ref := range refs {
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			if _, err := os.Stat(ref); err != nil {
+				t.Errorf("%s references %q, which does not exist", docFile, ref)
+			}
+		}
+	}
+}
+
+// apiExample is one request/response pair quoted in docs/API.md.
+type apiExample struct {
+	name       string
+	method     string
+	path       string
+	reqBody    string // also asserted to appear verbatim in the doc
+	wantStatus int
+	wantBody   string // exact response body; also asserted in the doc
+}
+
+// apiExamples mirrors docs/API.md example for example; changing either
+// side without the other fails TestAPIDocMatchesServer.
+var apiExamples = []apiExample{
+	{
+		name:       "register",
+		method:     http.MethodPost,
+		path:       "/v1/datasets",
+		reqBody:    `{"id":"m","scheme":"list-membership/sorted","data":"AwIEBg=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1}`,
+	},
+	{
+		name:       "register-sharded",
+		method:     http.MethodPost,
+		path:       "/v1/datasets?shards=2&partitioner=hash",
+		reqBody:    `{"id":"m2","scheme":"list-membership/sorted","data":"AwIEBg=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"id":"m2","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":2}`,
+	},
+	{
+		name:       "register-hostile-409",
+		method:     http.MethodPost,
+		path:       "/v1/datasets",
+		reqBody:    `{"id":"bad","scheme":"reachability/closure-matrix","data":"////"}`,
+		wantStatus: http.StatusConflict,
+		wantBody:   `{"error":"store: register \"bad\": preprocess (reachability/closure-matrix): graph: corrupt varint at offset 0"}`,
+	},
+	{
+		name:       "healthz",
+		method:     http.MethodGet,
+		path:       "/healthz",
+		wantStatus: http.StatusOK,
+		wantBody:   `{"datasets":2,"status":"ok"}`,
+	},
+	{
+		name:       "list",
+		method:     http.MethodGet,
+		path:       "/v1/datasets",
+		wantStatus: http.StatusOK,
+		wantBody:   `{"datasets":[{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1},{"id":"m2","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":2}]}`,
+	},
+	{
+		name:       "query",
+		method:     http.MethodPost,
+		path:       "/v1/query",
+		reqBody:    `{"dataset":"m","query":"goCAgICAgICAAQ=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"answer":true}`,
+	},
+	{
+		name:       "batch",
+		method:     http.MethodPost,
+		path:       "/v1/query/batch",
+		reqBody:    `{"dataset":"m","queries":["goCAgICAgICAAQ==","iYCAgICAgICAAQ=="],"parallelism":2}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"answers":[true,false]}`,
+	},
+}
+
+// TestAPIDocMatchesServer replays every docs/API.md example against a
+// live httptest server: the documented request bodies must appear in the
+// doc verbatim, and the server's responses must match the documented
+// bodies and status codes exactly. /v1/stats is verified structurally
+// (its counters carry timings).
+func TestAPIDocMatchesServer(t *testing.T) {
+	docBytes, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md missing: %v", err)
+	}
+	doc := string(docBytes)
+
+	srv := pitract.NewServer(pitract.NewStoreRegistry(""), nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	for _, ex := range apiExamples {
+		t.Run(ex.name, func(t *testing.T) {
+			if ex.reqBody != "" && !strings.Contains(doc, ex.reqBody) {
+				t.Errorf("docs/API.md does not contain the documented request body %s", ex.reqBody)
+			}
+			if !strings.Contains(doc, ex.wantBody) {
+				t.Errorf("docs/API.md does not contain the documented response body %s", ex.wantBody)
+			}
+			req, err := http.NewRequest(ex.method, ts.URL+ex.path, strings.NewReader(ex.reqBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			body := strings.TrimSpace(buf.String())
+			if resp.StatusCode != ex.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, ex.wantStatus, body)
+			}
+			if body != ex.wantBody {
+				t.Fatalf("live response diverged from docs/API.md:\n got: %s\nwant: %s", body, ex.wantBody)
+			}
+		})
+	}
+
+	// /v1/stats: counters carry latencies, so pin the shape and the
+	// deterministic values instead of bytes.
+	resp, err := client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Datasets        int   `json:"datasets"`
+		PreprocessCalls int64 `json:"preprocess_calls"`
+		SnapshotLoads   int64 `json:"snapshot_loads"`
+		Queries         int64 `json:"queries"`
+		PerScheme       map[string]struct {
+			Queries   int64 `json:"queries"`
+			Errors    int64 `json:"errors"`
+			LatencyNs int64 `json:"latency_ns"`
+		} `json:"per_scheme"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats response does not match the documented shape: %v", err)
+	}
+	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 3 {
+		t.Fatalf("stats counters diverge from the documented example: %+v", stats)
+	}
+	ss, ok := stats.PerScheme["list-membership/sorted"]
+	if !ok || ss.Queries != 3 || ss.Errors != 0 {
+		t.Fatalf("per-scheme stats diverge from the documented example: %+v", stats.PerScheme)
+	}
+
+	// Every endpoint the server registers must be documented.
+	for _, endpoint := range []string{"/healthz", "/v1/datasets", "/v1/query", "/v1/query/batch", "/v1/stats"} {
+		if !strings.Contains(doc, endpoint) {
+			t.Errorf("docs/API.md does not document %s", endpoint)
+		}
+	}
+}

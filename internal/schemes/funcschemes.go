@@ -181,7 +181,7 @@ func LCAFuncLanguage() core.FuncLanguage {
 			if err != nil {
 				return nil, err
 			}
-			u, v, err := decodeNodePair(q)
+			u, v, err := DecodeNodePairQuery(q)
 			if err != nil {
 				return nil, err
 			}
@@ -252,7 +252,7 @@ func LCAFuncScheme() *core.FuncScheme {
 			if n < 0 || len(pd) != 8+4*n*n {
 				return nil, fmt.Errorf("schemes: LCA table is %d bytes, header claims n=%d", len(pd), n)
 			}
-			u, v, err := decodeNodePair(q)
+			u, v, err := DecodeNodePairQuery(q)
 			if err != nil {
 				return nil, err
 			}

@@ -109,7 +109,7 @@ func IncrementalReachability() *core.IncrementalScheme {
 			if len(pd) < 8 {
 				return nil, fmt.Errorf("schemes: corrupt closure header")
 			}
-			u, v, err := decodeNodePair(delta)
+			u, v, err := DecodeNodePairQuery(delta)
 			if err != nil {
 				return nil, err
 			}
@@ -146,7 +146,7 @@ func IncrementalReachability() *core.IncrementalScheme {
 			if err != nil {
 				return nil, err
 			}
-			u, v, err := decodeNodePair(delta)
+			u, v, err := DecodeNodePairQuery(delta)
 			if err != nil {
 				return nil, err
 			}

@@ -74,7 +74,7 @@ func ViewRewritingScheme(defs []views.Def) *core.RewritingScheme {
 			return materializeBytes(rel, defs)
 		},
 		Rewrite: func(q []byte) ([]byte, error) {
-			c, err := decodePointQuery(q)
+			c, err := DecodePointQuery(q)
 			if err != nil {
 				return nil, err
 			}

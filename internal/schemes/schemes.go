@@ -53,7 +53,10 @@ func searchSortedKeys(b []byte, target int64) (idx int, found bool) {
 // key attribute.
 func PointQuery(c int64) []byte { return core.EncodeUint64(uint64(c) + (1 << 63)) }
 
-func decodePointQuery(q []byte) (int64, error) {
+// DecodePointQuery parses a PointQuery back into its key — the codec's
+// other half, exported so routing layers (internal/shard) can inspect
+// queries without re-specifying the wire format.
+func DecodePointQuery(q []byte) (int64, error) {
 	vs, err := core.DecodeUint64(q, 1)
 	if err != nil {
 		return 0, err
@@ -66,7 +69,8 @@ func RangeQuery(lo, hi int64) []byte {
 	return core.EncodeUint64(uint64(lo)+(1<<63), uint64(hi)+(1<<63))
 }
 
-func decodeRangeQuery(q []byte) (lo, hi int64, err error) {
+// DecodeRangeQuery parses a RangeQuery back into its bounds.
+func DecodeRangeQuery(q []byte) (lo, hi int64, err error) {
 	vs, err := core.DecodeUint64(q, 2)
 	if err != nil {
 		return 0, 0, err
@@ -84,7 +88,7 @@ func SelectionLanguage() core.Language {
 			if err != nil {
 				return false, err
 			}
-			c, err := decodePointQuery(q)
+			c, err := DecodePointQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -111,7 +115,7 @@ func PointSelectionScheme() *core.Scheme {
 			return putSortedKeys(keys), nil
 		},
 		Answer: func(pd, q []byte) (bool, error) {
-			c, err := decodePointQuery(q)
+			c, err := DecodePointQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -146,7 +150,7 @@ func RangeSelectionLanguage() core.Language {
 			if err != nil {
 				return false, err
 			}
-			lo, hi, err := decodeRangeQuery(q)
+			lo, hi, err := DecodeRangeQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -163,7 +167,7 @@ func RangeSelectionScheme() *core.Scheme {
 		SchemeName: "range-selection/sorted-keys",
 		Preprocess: base.Preprocess,
 		Answer: func(pd, q []byte) (bool, error) {
-			lo, hi, err := decodeRangeQuery(q)
+			lo, hi, err := DecodeRangeQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -226,7 +230,7 @@ func ListMembershipLanguage() core.Language {
 			if err != nil {
 				return false, err
 			}
-			e, err := decodePointQuery(q)
+			e, err := DecodePointQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -249,7 +253,7 @@ func ListMembershipScheme() *core.Scheme {
 			return putSortedKeys(idx.Sorted()), nil
 		},
 		Answer: func(pd, q []byte) (bool, error) {
-			e, err := decodePointQuery(q)
+			e, err := DecodePointQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -280,7 +284,8 @@ func RelationFromKeys(keys []int64) []byte {
 // NodePairQuery encodes a (u, v) node-pair query.
 func NodePairQuery(u, v int) []byte { return core.EncodeUint64(uint64(u), uint64(v)) }
 
-func decodeNodePair(q []byte) (int, int, error) {
+// DecodeNodePairQuery parses a NodePairQuery back into (u, v).
+func DecodeNodePairQuery(q []byte) (int, int, error) {
 	vs, err := core.DecodeUint64(q, 2)
 	if err != nil {
 		return 0, 0, err
@@ -298,7 +303,7 @@ func ReachabilityLanguage() core.Language {
 			if err != nil {
 				return false, err
 			}
-			u, v, err := decodeNodePair(q)
+			u, v, err := DecodeNodePairQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -357,7 +362,7 @@ func ReachabilityScheme() *core.Scheme {
 			return closureBytes(g), nil
 		},
 		Answer: func(pd, q []byte) (bool, error) {
-			u, v, err := decodeNodePair(q)
+			u, v, err := DecodeNodePairQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -423,7 +428,7 @@ func BDSLanguage() core.Language {
 			if err != nil {
 				return false, err
 			}
-			u, v, err := decodeNodePair(q)
+			u, v, err := DecodeNodePairQuery(q)
 			if err != nil {
 				return false, err
 			}
@@ -459,7 +464,7 @@ func BDSScheme() *core.Scheme {
 			return posArrayBytes(idx), nil
 		},
 		Answer: func(pd, q []byte) (bool, error) {
-			u, v, err := decodeNodePair(q)
+			u, v, err := DecodeNodePairQuery(q)
 			if err != nil {
 				return false, err
 			}

@@ -8,7 +8,8 @@
 // Endpoints:
 //
 //	GET  /healthz          liveness + dataset count
-//	POST /v1/datasets      register (and preprocess) a dataset
+//	POST /v1/datasets      register (and preprocess) a dataset; ?shards=n
+//	                       partitions it across n preprocessed stores
 //	GET  /v1/datasets      list registered datasets
 //	POST /v1/query         answer one query
 //	POST /v1/query/batch   answer a batch through the worker pool
@@ -16,6 +17,12 @@
 //
 // Data and queries travel base64-encoded (encoding/json's []byte rule), so
 // the wire format is exactly the library's byte-string instance encoding.
+//
+// The answer paths are routed through store.Dataset, so a dataset
+// registered with ?shards=n (or under the CLI's -shards default) serves
+// /v1/query and /v1/query/batch from its internal/shard fan-out/merge
+// machinery with no client-visible difference except the shards field in
+// DatasetInfo. See docs/API.md for the full request/response reference.
 package server
 
 import (
@@ -25,11 +32,13 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"pitract/internal/core"
 	"pitract/internal/schemes"
+	"pitract/internal/shard"
 	"pitract/internal/store"
 )
 
@@ -70,11 +79,22 @@ type schemeStats struct {
 	LatencyNs int64 `json:"latency_ns"`
 }
 
+// maxShards caps the client-supplied shard count: each shard costs a
+// goroutine during registration and a snapshot file on disk, so an
+// unbounded ?shards=10^9 is a resource-exhaustion vector.
+const maxShards = 64
+
 // Server serves a store.Registry over HTTP.
 type Server struct {
 	reg     *store.Registry
 	catalog map[string]*core.Scheme
 	mux     *http.ServeMux
+
+	// defaultShards is applied to registrations that do not carry an
+	// explicit ?shards parameter (0 or 1 = unsharded); defaultPartitioner
+	// names the partitioner used when ?partitioner is absent.
+	defaultShards      int
+	defaultPartitioner string
 
 	statsMu sync.Mutex
 	stats   map[string]*schemeStats
@@ -108,6 +128,27 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 
 // Registry returns the registry the server answers from.
 func (s *Server) Registry() *store.Registry { return s.reg }
+
+// SetDefaultSharding sets the shard count and partitioner applied to
+// registrations without explicit ?shards/?partitioner parameters — the
+// server face of the CLI's -shards/-partitioner flags. shards <= 1 keeps
+// the unsharded default; an empty partitioner selects "hash". The
+// partitioner name is validated here so a typo fails at startup, not at
+// the first registration.
+func (s *Server) SetDefaultSharding(shards int, partitioner string) error {
+	if shards > maxShards {
+		return fmt.Errorf("server: default shards %d exceeds the cap %d", shards, maxShards)
+	}
+	if _, err := shard.PartitionerByName(partitioner); err != nil {
+		return err
+	}
+	if shards < 0 {
+		shards = 0
+	}
+	s.defaultShards = shards
+	s.defaultPartitioner = partitioner
+	return nil
+}
 
 // Handler returns the HTTP handler (for httptest and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -162,6 +203,9 @@ type DatasetInfo struct {
 	// Loaded is true when Π(D) came from a snapshot instead of a fresh
 	// Preprocess call.
 	Loaded bool `json:"loaded"`
+	// Shards is the number of preprocessed stores backing the dataset
+	// (1 = unsharded).
+	Shards int `json:"shards"`
 }
 
 // QueryRequest answers one query against a registered dataset.
@@ -235,6 +279,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// datasetInfo renders one dataset for the wire.
+func datasetInfo(ds store.Dataset) DatasetInfo {
+	return DatasetInfo{
+		ID:        ds.DatasetID(),
+		Scheme:    ds.SchemeName(),
+		PrepBytes: ds.PrepBytes(),
+		Loaded:    ds.WasLoaded(),
+		Shards:    ds.ShardCount(),
+	}
+}
+
+// shardingParams resolves the ?shards / ?partitioner query parameters
+// against the server defaults. explicit reports whether the client named
+// a shard count itself (a defaulted count may quietly fall back to
+// unsharded for schemes without a sharded form; an explicit one may not).
+// ok=false means the response was already written.
+func (s *Server) shardingParams(w http.ResponseWriter, r *http.Request) (shards int, p shard.Partitioner, explicit, ok bool) {
+	shards = s.defaultShards
+	if raw := r.URL.Query().Get("shards"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad shards parameter %q: want a positive integer", raw)
+			return 0, nil, false, false
+		}
+		if n > maxShards {
+			writeError(w, http.StatusBadRequest, "shards %d exceeds the cap %d", n, maxShards)
+			return 0, nil, false, false
+		}
+		shards, explicit = n, true
+	}
+	name := r.URL.Query().Get("partitioner")
+	if name == "" {
+		name = s.defaultPartitioner
+	}
+	p, err := shard.PartitionerByName(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return 0, nil, false, false
+	}
+	return shards, p, explicit, true
+}
+
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -251,21 +337,38 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "unknown scheme %q (have %v)", req.Scheme, s.schemeNames())
 			return
 		}
-		st, err := s.reg.Register(req.ID, scheme, req.Data)
+		shards, partitioner, explicit, ok := s.shardingParams(w, r)
+		if !ok {
+			return
+		}
+		if shards > 1 && shard.ForScheme(req.Scheme) == nil {
+			// An explicit ?shards=N for an unshardable scheme is a client
+			// error; a server-wide -shards default must not make these
+			// schemes unregistrable, so it falls back to unsharded.
+			if explicit {
+				writeError(w, http.StatusBadRequest, "scheme %q has no sharded form (shardable: %v)",
+					req.Scheme, shard.ShardableSchemes())
+				return
+			}
+			shards = 1
+		}
+		var ds store.Dataset
+		var err error
+		if shards > 1 {
+			ds, err = shard.RegisterSharded(s.reg, req.ID, scheme, partitioner, shards, req.Data)
+		} else {
+			ds, err = s.reg.Register(req.ID, scheme, req.Data)
+		}
 		if err != nil {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, DatasetInfo{
-			ID: st.ID, Scheme: st.Scheme.Name(), PrepBytes: len(st.Prep), Loaded: st.Loaded,
-		})
+		writeJSON(w, http.StatusOK, datasetInfo(ds))
 	case http.MethodGet:
 		infos := []DatasetInfo{}
 		for _, id := range s.reg.IDs() {
-			if st, ok := s.reg.Get(id); ok {
-				infos = append(infos, DatasetInfo{
-					ID: st.ID, Scheme: st.Scheme.Name(), PrepBytes: len(st.Prep), Loaded: st.Loaded,
-				})
+			if ds, ok := s.reg.GetDataset(id); ok {
+				infos = append(infos, datasetInfo(ds))
 			}
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": infos})
@@ -274,18 +377,18 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// lookup resolves a dataset for the answer paths.
-func (s *Server) lookup(w http.ResponseWriter, dataset string) (*store.Store, bool) {
+// lookup resolves a dataset — plain or sharded — for the answer paths.
+func (s *Server) lookup(w http.ResponseWriter, dataset string) (store.Dataset, bool) {
 	if dataset == "" {
 		writeError(w, http.StatusBadRequest, "missing dataset id")
 		return nil, false
 	}
-	st, ok := s.reg.Get(dataset)
+	ds, ok := s.reg.GetDataset(dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "dataset %q not registered", dataset)
 		return nil, false
 	}
-	return st, true
+	return ds, true
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -297,17 +400,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	st, ok := s.lookup(w, req.Dataset)
+	ds, ok := s.lookup(w, req.Dataset)
 	if !ok {
 		return
 	}
 	start := time.Now()
-	ans, err := st.Answer(req.Query)
+	ans, err := ds.Answer(req.Query)
 	served := 1
 	if err != nil {
 		served = 0 // match the batch path: failed queries count as errors, not served queries
 	}
-	s.record(st.Scheme.Name(), served, time.Since(start), err)
+	s.record(ds.SchemeName(), served, time.Since(start), err)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -324,7 +427,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	st, ok := s.lookup(w, req.Dataset)
+	ds, ok := s.lookup(w, req.Dataset)
 	if !ok {
 		return
 	}
@@ -333,11 +436,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		parallelism = maxBatchParallelism
 	}
 	start := time.Now()
-	answers, err := st.AnswerBatch(req.Queries, parallelism)
+	answers, err := ds.AnswerBatch(req.Queries, parallelism)
 	// Count only queries actually answered: AnswerBatch fails fast and
 	// returns no answers on error, so a failed batch must not inflate the
 	// served-query counter.
-	s.record(st.Scheme.Name(), len(answers), time.Since(start), err)
+	s.record(ds.SchemeName(), len(answers), time.Since(start), err)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
@@ -375,5 +376,192 @@ func TestServerGracefulShutdown(t *testing.T) {
 	}
 	if _, err := client.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestServerShardedRegistrationAndServing registers the same dataset
+// unsharded and sharded (?shards=2 and ?shards=4), serves an identical
+// query mix through /v1/query and /v1/query/batch, and requires every
+// sharded verdict byte-identical to the unsharded one — cross-shard
+// reachability pairs included.
+func TestServerShardedRegistrationAndServing(t *testing.T) {
+	srv := New(store.NewRegistry(""), nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	g := graph.CommunityGraph(4, 12, 30, 21)
+	rng := rand.New(rand.NewSource(5))
+	queries := make([][]byte, 200)
+	for i := range queries {
+		queries[i] = schemes.NodePairQuery(rng.Intn(g.N()), rng.Intn(g.N()))
+	}
+
+	var base DatasetInfo
+	if code := postJSON(t, client, ts.URL+"/v1/datasets", RegisterRequest{
+		ID: "flat", Scheme: "reachability/closure-matrix", Data: g.Encode(),
+	}, &base); code != http.StatusOK {
+		t.Fatalf("register flat: status %d", code)
+	}
+	if base.Shards != 1 {
+		t.Fatalf("unsharded registration reports %d shards", base.Shards)
+	}
+	want := make([]bool, len(queries))
+	for i, q := range queries {
+		var qr QueryResponse
+		if code := postJSON(t, client, ts.URL+"/v1/query",
+			QueryRequest{Dataset: "flat", Query: q}, &qr); code != http.StatusOK {
+			t.Fatalf("flat query %d: status %d", i, code)
+		}
+		want[i] = qr.Answer
+	}
+
+	for _, n := range []int{2, 4} {
+		for _, part := range []string{"hash", "range"} {
+			id := fmt.Sprintf("sharded-%d-%s", n, part)
+			var info DatasetInfo
+			url := fmt.Sprintf("%s/v1/datasets?shards=%d&partitioner=%s", ts.URL, n, part)
+			if code := postJSON(t, client, url, RegisterRequest{
+				ID: id, Scheme: "reachability/closure-matrix", Data: g.Encode(),
+			}, &info); code != http.StatusOK {
+				t.Fatalf("register %s: status %d", id, code)
+			}
+			if info.Shards != n {
+				t.Fatalf("%s: info reports %d shards, want %d", id, info.Shards, n)
+			}
+			if info.PrepBytes == 0 {
+				t.Errorf("%s: empty sharded artifact", id)
+			}
+			for i, q := range queries {
+				var qr QueryResponse
+				if code := postJSON(t, client, ts.URL+"/v1/query",
+					QueryRequest{Dataset: id, Query: q}, &qr); code != http.StatusOK {
+					t.Fatalf("%s query %d: status %d", id, i, code)
+				}
+				if qr.Answer != want[i] {
+					t.Fatalf("%s query %d: sharded %v, unsharded %v", id, i, qr.Answer, want[i])
+				}
+			}
+			var br BatchResponse
+			if code := postJSON(t, client, ts.URL+"/v1/query/batch", BatchRequest{
+				Dataset: id, Queries: queries, Parallelism: 4,
+			}, &br); code != http.StatusOK {
+				t.Fatalf("%s batch: status %d", id, code)
+			}
+			for i := range br.Answers {
+				if br.Answers[i] != want[i] {
+					t.Fatalf("%s batch query %d: sharded %v, unsharded %v", id, i, br.Answers[i], want[i])
+				}
+			}
+		}
+	}
+
+	// The dataset listing reports shard counts.
+	var list struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if code := getJSON(t, client, ts.URL+"/v1/datasets", &list); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	byID := map[string]DatasetInfo{}
+	for _, d := range list.Datasets {
+		byID[d.ID] = d
+	}
+	if byID["flat"].Shards != 1 || byID["sharded-4-range"].Shards != 4 {
+		t.Fatalf("listing shard counts wrong: %+v", byID)
+	}
+}
+
+// TestServerShardedParamErrors pins the 400s for bad sharding parameters
+// and the 409 for hostile payloads on the sharded path.
+func TestServerShardedParamErrors(t *testing.T) {
+	srv := New(store.NewRegistry(""), nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	ok := RegisterRequest{ID: "x", Scheme: "reachability/closure-matrix", Data: graph.Path(4, true).Encode()}
+	for _, c := range []struct {
+		params string
+		want   int
+	}{
+		{"?shards=0", http.StatusBadRequest},
+		{"?shards=-3", http.StatusBadRequest},
+		{"?shards=bogus", http.StatusBadRequest},
+		{"?shards=100000", http.StatusBadRequest},
+		{"?shards=2&partitioner=zodiac", http.StatusBadRequest},
+	} {
+		if code := postJSON(t, client, ts.URL+"/v1/datasets"+c.params, ok, &e); code != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.params, code, c.want, e.Error)
+		}
+	}
+	// A scheme without a sharded form is a client error, not a 409.
+	if code := postJSON(t, client, ts.URL+"/v1/datasets?shards=2",
+		RegisterRequest{ID: "b", Scheme: "bds/visit-order", Data: graph.Path(4, true).Encode()}, &e); code != http.StatusBadRequest {
+		t.Errorf("unshardable scheme: status %d, want 400 (%s)", code, e.Error)
+	}
+	// Hostile payload through the sharded path: clean 409, process alive.
+	if code := postJSON(t, client, ts.URL+"/v1/datasets?shards=2",
+		RegisterRequest{ID: "h", Scheme: "reachability/closure-matrix", Data: []byte{0xff, 0xff, 0xff}}, &e); code != http.StatusConflict {
+		t.Errorf("hostile sharded payload: status %d, want 409 (%s)", code, e.Error)
+	}
+	if code := getJSON(t, client, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("server unhealthy after hostile registration: %d", code)
+	}
+}
+
+// TestServerDefaultSharding: a server started with -shards style defaults
+// shards registrations that carry no explicit parameter.
+func TestServerDefaultSharding(t *testing.T) {
+	srv := New(store.NewRegistry(""), nil)
+	if err := srv.SetDefaultSharding(3, "range"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetDefaultSharding(2, "zodiac"); err == nil {
+		t.Fatal("bad default partitioner must be rejected")
+	}
+	if err := srv.SetDefaultSharding(maxShards+1, ""); err == nil {
+		t.Fatal("default shards beyond the cap must be rejected")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	g := graph.CommunityGraph(3, 8, 12, 2)
+	var info DatasetInfo
+	if code := postJSON(t, client, ts.URL+"/v1/datasets", RegisterRequest{
+		ID: "g", Scheme: "reachability/closure-matrix", Data: g.Encode(),
+	}, &info); code != http.StatusOK {
+		t.Fatalf("register: status %d", code)
+	}
+	if info.Shards != 3 {
+		t.Fatalf("default sharding not applied: %d shards, want 3", info.Shards)
+	}
+	// The server-wide default must not make unshardable schemes
+	// unregistrable: BDS falls back to unsharded (explicit ?shards=2 on it
+	// stays a 400, covered in TestServerShardedParamErrors).
+	if code := postJSON(t, client, ts.URL+"/v1/datasets", RegisterRequest{
+		ID: "b", Scheme: "bds/visit-order", Data: graph.Path(6, false).Encode(),
+	}, &info); code != http.StatusOK {
+		t.Fatalf("unshardable scheme under a -shards default: status %d, want 200", code)
+	}
+	if info.Shards != 1 {
+		t.Fatalf("unshardable scheme registered with %d shards, want the unsharded fallback", info.Shards)
+	}
+	// An explicit ?shards=1 overrides the default back to unsharded.
+	if code := postJSON(t, client, ts.URL+"/v1/datasets?shards=1", RegisterRequest{
+		ID: "flat", Scheme: "reachability/closure-matrix", Data: g.Encode(),
+	}, &info); code != http.StatusOK {
+		t.Fatalf("register flat: status %d", code)
+	}
+	if info.Shards != 1 {
+		t.Fatalf("?shards=1 did not override the default: %d shards", info.Shards)
+	}
+	got, err := srv.Registry().GetDataset("g")
+	if !err || got.ShardCount() != 3 {
+		t.Fatalf("registry dataset: %v %v", got, err)
 	}
 }

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashAssignmentBalanceAndDeterminism(t *testing.T) {
+	p := HashPartitioner{}
+	asn, err := p.Plan(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for k := int64(-5000); k < 5000; k++ {
+		s := asn.Shard(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("key %d assigned to shard %d", k, s)
+		}
+		if s != asn.Shard(k) {
+			t.Fatalf("key %d assignment not deterministic", k)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < 1500 || c > 3500 {
+			t.Fatalf("hash shard %d holds %d of 10000 keys — badly unbalanced: %v", s, c, counts)
+		}
+	}
+}
+
+func TestRangeAssignmentContiguousAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(100000) - 50000)
+	}
+	asn, err := RangePartitioner{}.Plan(keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguity: shard ids are non-decreasing in key order.
+	prev := 0
+	for k := int64(-60000); k <= 60000; k += 7 {
+		s := asn.Shard(k)
+		if s < prev {
+			t.Fatalf("shard id decreased from %d to %d at key %d — ranges not contiguous", prev, s, k)
+		}
+		prev = s
+	}
+	// Balance: the dataset's own keys spread roughly evenly.
+	counts := make([]int, asn.Shards())
+	for _, k := range keys {
+		counts[asn.Shard(k)]++
+	}
+	for s, c := range counts {
+		if c < 100 || c > 500 {
+			t.Fatalf("range shard %d holds %d of 1000 keys: %v", s, c, counts)
+		}
+	}
+	// OwnerOfRange: single-bucket ranges route, spanning ranges do not.
+	ro := asn.(RangeOwner)
+	if got := ro.OwnerOfRange(-60000, 60000); got != -1 {
+		t.Fatalf("full-span range owned by shard %d, want -1", got)
+	}
+	for _, k := range keys[:50] {
+		if got := ro.OwnerOfRange(k, k); got != asn.Shard(k) {
+			t.Fatalf("point range [%d,%d] owned by %d, want %d", k, k, got, asn.Shard(k))
+		}
+	}
+}
+
+func TestAssignmentEncodeDecodeRoundTrip(t *testing.T) {
+	hashAsn, _ := HashPartitioner{}.Plan(nil, 7)
+	rangeAsn, _ := RangePartitioner{}.Plan([]int64{-9, -2, 0, 3, 3, 14, 200}, 3)
+	for _, asn := range []Assignment{hashAsn, rangeAsn} {
+		got, err := DecodeAssignment(asn.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Shards() != asn.Shards() {
+			t.Fatalf("decoded %d shards, want %d", got.Shards(), asn.Shards())
+		}
+		for k := int64(-300); k < 300; k++ {
+			if got.Shard(k) != asn.Shard(k) {
+				t.Fatalf("decoded assignment diverges at key %d", k)
+			}
+		}
+	}
+}
+
+func TestDecodeAssignmentRejectsHostileInput(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{'x'},
+		{hashAssignmentTag},
+		{hashAssignmentTag, 0},          // n = 0
+		{rangeAssignmentTag},            // no count
+		{rangeAssignmentTag, 0xff},      // truncated varint count
+		{rangeAssignmentTag, 200, 1, 2}, // count exceeds buffer
+		{rangeAssignmentTag, 2, 4, 2},   // bounds out of order
+		{hashAssignmentTag, 3, 9},       // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeAssignment(b); err == nil {
+			t.Errorf("case %d (%v): hostile assignment decoded without error", i, b)
+		}
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	for name, want := range map[string]string{"": "hash", "hash": "hash", "range": "range"} {
+		p, err := PartitionerByName(name)
+		if err != nil || p.Name() != want {
+			t.Fatalf("PartitionerByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PartitionerByName("zodiac"); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+}

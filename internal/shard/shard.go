@@ -1,0 +1,470 @@
+// Package shard partitions one dataset across several preprocessed stores
+// and routes queries to them — the horizontal-scaling face of the paper's
+// Π-tractability contract. Preprocess(D) is PTIME in |D|; cutting D into n
+// parts preprocesses n datasets of size |D|/n (concurrently, and with
+// sub-linear artifacts like the reachability closure matrix, into
+// strictly smaller total output), while answering stays inside the NC
+// budget: a query is either routed to the single shard that owns its
+// answer, or fanned out to every shard and the per-shard verdicts merged
+// by a scheme-specific reducer.
+//
+// The moving parts:
+//
+//   - Partitioner (hash, range) freezes an Assignment of element keys to
+//     shards.
+//   - Sharding is the per-scheme hook bundle: Keys extracts partition keys,
+//     Split re-encodes the dataset as n valid sub-datasets, Route finds a
+//     query's owning shard, Fanout rewrites a query per shard, Summarize
+//     builds cross-shard state (e.g. the reachability portal overlay), and
+//     Merge reduces fan-out verdicts (default: OR).
+//   - ShardedStore holds the n per-shard stores plus the assignment and
+//     summary, and answers exactly like a plain store.Store — differential
+//     tests pin sharded answers byte-identical to unsharded ones.
+//   - Manifest + RegisterSharded persist the whole thing as one catalog
+//     entry backed by n snapshot files with per-shard SHA-256 integrity.
+//
+// Layering: shard sits on top of internal/store (it composes plain stores
+// and reuses the snapshot format) and below internal/server (which routes
+// /v1/query through store.Dataset, the interface both implement).
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pitract/internal/core"
+	"pitract/internal/store"
+)
+
+// Probe answers a follow-up local query against one shard during Merge —
+// e.g. reachability's "does u reach portal p inside its shard".
+type Probe func(shard int, localQuery []byte) (bool, error)
+
+// Sharding adapts one scheme to partitioned stores. Split/Keys/Summarize
+// run once at preprocessing time; Route/Fanout/Merge sit on the answer path
+// and must stay within the scheme's NC answering budget (they do constant
+// or polylog work over the assignment and summary, never touch raw data).
+type Sharding struct {
+	// Keys extracts every element's partition key, in element order, from
+	// an encoded dataset.
+	Keys func(data []byte) ([]int64, error)
+	// Split re-encodes data as asn.Shards() valid sub-datasets, element i
+	// going to shard asn.Shard(keys[i]). Every part must itself be a
+	// dataset the scheme's Preprocess accepts.
+	Split func(data []byte, asn Assignment) ([][]byte, error)
+	// Summarize builds the cross-shard summary artifact from the original
+	// data (e.g. the reachability portal-overlay closure). Nil when the
+	// scheme needs none; the result is persisted in the manifest.
+	Summarize func(data []byte, asn Assignment) ([]byte, error)
+	// SplitSummarize computes Split and Summarize in one pass over the
+	// decoded dataset; Build prefers it when set, so schemes whose split
+	// and summary share expensive intermediate state (reachability decodes
+	// the graph and builds the induced subgraphs for both) do that work
+	// once per registration instead of once per hook.
+	SplitSummarize func(data []byte, asn Assignment) (parts [][]byte, summary []byte, err error)
+	// Prepare decodes the summary once per opened store; the result is
+	// what Fanout and Merge receive, so per-query work never re-parses the
+	// O(|D|)-sized summary (that would smuggle linear work into the NC
+	// answering budget). Nil passes the raw summary bytes through.
+	Prepare func(summary []byte) (interface{}, error)
+	// Route returns the single shard that alone owns q's answer, or -1 to
+	// fan out to every shard.
+	Route func(q []byte, asn Assignment) (int, error)
+	// Fanout rewrites q for one shard during fan-out; keep=false means the
+	// shard is known to contribute a false verdict without being asked.
+	// summary is Prepare's output (or the raw bytes without Prepare). Nil
+	// sends q unchanged to every shard.
+	Fanout func(q []byte, shardIdx int, asn Assignment, summary interface{}) (local []byte, keep bool, err error)
+	// Merge reduces the fan-out verdicts (verdicts[i] is false for shards
+	// Fanout dropped); probe allows follow-up local queries. Nil means OR.
+	Merge func(q []byte, verdicts []bool, asn Assignment, summary interface{}, probe Probe) (bool, error)
+}
+
+// ShardedStore is one dataset served from n per-shard preprocessed stores
+// behind a single catalog entry. It implements store.Dataset, so the HTTP
+// server and the registry treat it exactly like a plain store; Answer and
+// AnswerBatch route or fan out per query.
+type ShardedStore struct {
+	// ID is the dataset identifier the store was registered under.
+	ID string
+	// Scheme answers against each per-shard store.
+	Scheme *core.Scheme
+	// Sharding is the per-scheme routing/merging hook bundle.
+	Sharding *Sharding
+	// Asn is the frozen key→shard assignment.
+	Asn Assignment
+	// Summary is the cross-shard state from Sharding.Summarize (nil when
+	// the scheme needs none).
+	Summary []byte
+	// Stores holds the per-shard preprocessed stores, indexed by shard.
+	Stores []*store.Store
+	// DataSum digests the raw (unsplit) data.
+	DataSum store.DataChecksum
+	// Loaded reports whether every shard was reloaded from snapshots.
+	Loaded bool
+	// Partitioner names the partitioner that planned Asn ("hash", "range");
+	// persisted in the manifest so reloads only match like-partitioned
+	// snapshots.
+	Partitioner string
+
+	// prepared memoizes Sharding.Prepare(Summary) for the answer paths.
+	prepOnce sync.Once
+	prepared interface{}
+	prepErr  error
+}
+
+// summaryView returns the decoded summary, preparing it exactly once.
+func (ss *ShardedStore) summaryView() (interface{}, error) {
+	if ss.Sharding.Prepare == nil {
+		return ss.Summary, nil
+	}
+	ss.prepOnce.Do(func() {
+		ss.prepared, ss.prepErr = ss.Sharding.Prepare(ss.Summary)
+	})
+	return ss.prepared, ss.prepErr
+}
+
+// DatasetID implements store.Dataset.
+func (ss *ShardedStore) DatasetID() string { return ss.ID }
+
+// SchemeName implements store.Dataset.
+func (ss *ShardedStore) SchemeName() string { return ss.Scheme.Name() }
+
+// DataDigest implements store.Dataset.
+func (ss *ShardedStore) DataDigest() store.DataChecksum { return ss.DataSum }
+
+// PrepBytes implements store.Dataset: the summed per-shard artifacts plus
+// the cross-shard summary.
+func (ss *ShardedStore) PrepBytes() int {
+	total := len(ss.Summary)
+	for _, st := range ss.Stores {
+		total += len(st.Prep)
+	}
+	return total
+}
+
+// ShardCount implements store.Dataset.
+func (ss *ShardedStore) ShardCount() int { return len(ss.Stores) }
+
+// WasLoaded implements store.Dataset.
+func (ss *ShardedStore) WasLoaded() bool { return ss.Loaded }
+
+// probe answers one follow-up local query for Merge.
+func (ss *ShardedStore) probe(shardIdx int, localQuery []byte) (bool, error) {
+	if shardIdx < 0 || shardIdx >= len(ss.Stores) {
+		return false, fmt.Errorf("shard: probe shard %d out of range [0,%d)", shardIdx, len(ss.Stores))
+	}
+	return ss.Stores[shardIdx].Answer(localQuery)
+}
+
+// Answer decides one query: routed queries hit their owning shard
+// unchanged; everything else fans out and merges.
+func (ss *ShardedStore) Answer(q []byte) (bool, error) {
+	owner, err := ss.Sharding.Route(q, ss.Asn)
+	if err != nil {
+		return false, err
+	}
+	if owner >= 0 {
+		if owner >= len(ss.Stores) {
+			return false, fmt.Errorf("shard: route to shard %d out of range [0,%d)", owner, len(ss.Stores))
+		}
+		return ss.Stores[owner].Answer(q)
+	}
+	verdicts := make([]bool, len(ss.Stores))
+	for i := range ss.Stores {
+		local, keep, err := ss.fanout(q, i)
+		if err != nil {
+			return false, err
+		}
+		if !keep {
+			continue
+		}
+		verdicts[i], err = ss.Stores[i].Answer(local)
+		if err != nil {
+			return false, err
+		}
+	}
+	return ss.merge(q, verdicts)
+}
+
+// fanout applies Sharding.Fanout with the identity default.
+func (ss *ShardedStore) fanout(q []byte, shardIdx int) ([]byte, bool, error) {
+	if ss.Sharding.Fanout == nil {
+		return q, true, nil
+	}
+	sv, err := ss.summaryView()
+	if err != nil {
+		return nil, false, err
+	}
+	return ss.Sharding.Fanout(q, shardIdx, ss.Asn, sv)
+}
+
+// merge applies Sharding.Merge with the OR default.
+func (ss *ShardedStore) merge(q []byte, verdicts []bool) (bool, error) {
+	if ss.Sharding.Merge == nil {
+		for _, v := range verdicts {
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	sv, err := ss.summaryView()
+	if err != nil {
+		return false, err
+	}
+	return ss.Sharding.Merge(q, verdicts, ss.Asn, sv, ss.probe)
+}
+
+// AnswerBatch answers queries concurrently, in query order, riding the
+// same per-scheme AnswerBatch worker pools a plain store uses: routed
+// queries are grouped into one batch per owning shard, fan-out queries
+// into one rewritten batch per shard, then merged per query. The first
+// error aborts the batch, matching core.Scheme.AnswerBatch semantics.
+func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
+	n := len(ss.Stores)
+	results := make([]bool, len(queries))
+
+	// Plan every query: routed ones group by owning shard, the rest fan
+	// out.
+	routed := make([][]int, n) // shard -> indices of queries routed there
+	var fanned []int           // indices of fan-out queries
+	for i, q := range queries {
+		owner, err := ss.Sharding.Route(q, ss.Asn)
+		if err != nil {
+			return nil, fmt.Errorf("shard: batch query %d: %w", i, err)
+		}
+		if owner >= 0 {
+			if owner >= n {
+				return nil, fmt.Errorf("shard: batch query %d: route to shard %d out of range [0,%d)", i, owner, n)
+			}
+			routed[owner] = append(routed[owner], i)
+		} else {
+			fanned = append(fanned, i)
+		}
+	}
+
+	// Per-shard batches run concurrently across shards; inside each shard
+	// the scheme's AnswerBatch worker pool spreads the queries. The
+	// caller's parallelism budget is divided across the shards with work,
+	// so the total worker count stays what the caller (and the server's
+	// maxBatchParallelism cap) asked for instead of multiplying by n.
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	active := 0
+	for i := 0; i < n; i++ {
+		if len(routed[i]) > 0 || len(fanned) > 0 {
+			active++
+		}
+	}
+	perShard := parallelism
+	if active > 1 {
+		perShard = parallelism / active
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// verdicts[j][i] is shard i's verdict for fan-out query fanned[j].
+	verdicts := make([][]bool, len(fanned))
+	for j := range verdicts {
+		verdicts[j] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		idxs := routed[i]
+		if len(idxs) == 0 && len(fanned) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, idxs []int) {
+			defer wg.Done()
+			// Routed queries travel unchanged.
+			if len(idxs) > 0 {
+				batch := make([][]byte, len(idxs))
+				for k, qi := range idxs {
+					batch[k] = queries[qi]
+				}
+				ans, err := ss.Stores[i].AnswerBatch(batch, perShard)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for k, qi := range idxs {
+					results[qi] = ans[k]
+				}
+			}
+			// Fan-out queries are rewritten for this shard; dropped ones
+			// keep their false verdict.
+			if len(fanned) > 0 {
+				var batch [][]byte
+				var owners []int // j index into fanned/verdicts
+				for j, qi := range fanned {
+					local, keep, err := ss.fanout(queries[qi], i)
+					if err != nil {
+						fail(fmt.Errorf("shard: batch query %d: %w", qi, err))
+						return
+					}
+					if keep {
+						batch = append(batch, local)
+						owners = append(owners, j)
+					}
+				}
+				if len(batch) > 0 {
+					ans, err := ss.Stores[i].AnswerBatch(batch, perShard)
+					if err != nil {
+						fail(err)
+						return
+					}
+					for k, j := range owners {
+						verdicts[j][i] = ans[k]
+					}
+				}
+			}
+		}(i, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(fanned) > 0 {
+		// Merges can be the expensive half of a fan-out batch (reachability
+		// probes O(|portals|) local queries per merge), so they ride their
+		// own bounded pool instead of serializing on the calling goroutine;
+		// the first failing merge (lowest query index) aborts the batch,
+		// matching core.Scheme.AnswerBatch.
+		workers := parallelism
+		if workers > len(fanned) {
+			workers = len(fanned)
+		}
+		var (
+			next   atomic.Int64
+			failed atomic.Bool
+			mwg    sync.WaitGroup
+		)
+		mergeErrs := make([]error, len(fanned))
+		mwg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer mwg.Done()
+				for !failed.Load() {
+					j := int(next.Add(1)) - 1
+					if j >= len(fanned) {
+						return
+					}
+					got, err := ss.merge(queries[fanned[j]], verdicts[j])
+					if err != nil {
+						mergeErrs[j] = err
+						failed.Store(true)
+						return
+					}
+					results[fanned[j]] = got
+				}
+			}()
+		}
+		mwg.Wait()
+		for j, err := range mergeErrs {
+			if err != nil {
+				return nil, fmt.Errorf("shard: batch query %d: %w", fanned[j], err)
+			}
+		}
+	}
+	return results, nil
+}
+
+// Build cuts data into n parts with the partitioner, preprocesses every
+// part concurrently, and assembles the sharded store. It does not persist
+// anything; RegisterSharded adds snapshots and the manifest.
+func Build(id string, scheme *core.Scheme, sh *Sharding, p Partitioner, n int, data []byte) (*ShardedStore, error) {
+	if scheme == nil || sh == nil {
+		return nil, fmt.Errorf("shard: build %q: nil scheme or sharding", id)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: build %q: shard count %d < 1", id, n)
+	}
+	keys, err := sh.Keys(data)
+	if err != nil {
+		return nil, fmt.Errorf("shard: build %q: keys: %w", id, err)
+	}
+	asn, err := p.Plan(keys, n)
+	if err != nil {
+		return nil, fmt.Errorf("shard: build %q: %w", id, err)
+	}
+	var parts [][]byte
+	var summary []byte
+	if sh.SplitSummarize != nil {
+		parts, summary, err = sh.SplitSummarize(data, asn)
+		if err != nil {
+			return nil, fmt.Errorf("shard: build %q: split: %w", id, err)
+		}
+	} else {
+		parts, err = sh.Split(data, asn)
+		if err != nil {
+			return nil, fmt.Errorf("shard: build %q: split: %w", id, err)
+		}
+		if sh.Summarize != nil {
+			summary, err = sh.Summarize(data, asn)
+			if err != nil {
+				return nil, fmt.Errorf("shard: build %q: summarize: %w", id, err)
+			}
+		}
+	}
+	if len(parts) != n {
+		return nil, fmt.Errorf("shard: build %q: split produced %d parts, want %d", id, len(parts), n)
+	}
+	ss := &ShardedStore{
+		ID:       id,
+		Scheme:   scheme,
+		Sharding: sh,
+		Asn:      asn,
+		Summary:  summary,
+		Stores:   make([]*store.Store, n),
+		DataSum:  store.SumData(data),
+	}
+	// Preprocess the parts concurrently: the per-part PTIME cost is the
+	// thing sharding scales out.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("shard: build %q: preprocess shard %d panicked: %v", id, i, p)
+				}
+			}()
+			pd, err := scheme.Preprocess(parts[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: build %q: preprocess shard %d: %w", id, i, err)
+				return
+			}
+			ss.Stores[i] = &store.Store{
+				ID:      fmt.Sprintf("%s/shard%d", id, i),
+				Scheme:  scheme,
+				Prep:    pd,
+				DataSum: store.SumData(parts[i]),
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ss, nil
+}

@@ -11,14 +11,48 @@ import (
 	"pitract/internal/core"
 )
 
-// Registry maps dataset IDs to preprocessed stores. Registering a dataset
+// Dataset is anything the registry can serve queries from: a plain Store
+// (one preprocessed artifact) or a composite such as internal/shard's
+// ShardedStore (n per-shard artifacts behind one catalog entry). The
+// answer-path methods must be safe for concurrent use; the descriptive
+// methods must be cheap and never block.
+type Dataset interface {
+	// DatasetID is the registry identifier the dataset was registered under.
+	DatasetID() string
+	// SchemeName names the scheme that preprocessed — and answers against —
+	// the dataset.
+	SchemeName() string
+	// DataDigest is the SHA-256 of the raw data the dataset was built from;
+	// re-registration uses it to refuse serving a stale Π(D) as fresh.
+	DataDigest() DataChecksum
+	// PrepBytes reports the total size of the preprocessed artifact(s).
+	PrepBytes() int
+	// ShardCount reports how many preprocessed stores back the dataset
+	// (1 for a plain Store).
+	ShardCount() int
+	// WasLoaded reports whether the dataset was reloaded from snapshots
+	// instead of freshly preprocessed.
+	WasLoaded() bool
+	// Answer decides one query.
+	Answer(q []byte) (bool, error)
+	// AnswerBatch answers queries concurrently through worker pools;
+	// parallelism <= 0 selects GOMAXPROCS.
+	AnswerBatch(queries [][]byte, parallelism int) ([]bool, error)
+}
+
+// Registry maps dataset IDs to preprocessed datasets. Registering a dataset
 // preprocesses it exactly once — concurrent registrations of the same ID
-// share one Preprocess call and all receive the same memoized store — and,
-// when the registry has a data directory, persists the result as a snapshot
-// so a restarted process reloads Π(D) instead of recomputing it.
+// share one build and all receive the same memoized dataset — and, when the
+// registry has a data directory, persists the result as snapshot file(s) so
+// a restarted process reloads Π(D) instead of recomputing it.
+//
+// Plain (single-store) registration goes through Register; composite
+// datasets (sharded stores) plug in through RegisterDataset, which carries
+// the same one-catalog-entry, one-build-per-ID guarantee for any Dataset
+// implementation.
 //
 // The registry is safe for concurrent use; Answer paths never hold the
-// registry lock (the store's preprocessed bytes are immutable).
+// registry lock (the preprocessed bytes are immutable).
 type Registry struct {
 	dir string // "" = memory-only, no persistence
 
@@ -29,13 +63,13 @@ type Registry struct {
 	loadCount       atomic.Int64
 }
 
-// regEntry is a future for one dataset: done closes once store/err are set,
+// regEntry is a future for one dataset: done closes once ds/err are set,
 // so concurrent registrations of the same ID wait instead of preprocessing
 // again.
 type regEntry struct {
-	done  chan struct{}
-	store *Store
-	err   error
+	done chan struct{}
+	ds   Dataset
+	err  error
 }
 
 // NewRegistry returns a registry persisting snapshots under dir; dir == ""
@@ -54,16 +88,19 @@ func (r *Registry) snapshotPath(id string) string {
 	return filepath.Join(r.dir, url.PathEscape(id)+".pitract")
 }
 
-// Register returns the preprocessed store for id, creating it on first
-// call: reload from a fresh snapshot if the registry is persistent and one
-// matches (same scheme, same data digest), otherwise run scheme.Preprocess
-// and persist the result. Re-registering an existing id with the same
-// scheme and the same data returns the memoized store; a different scheme
-// name or a different data digest is an error rather than a silent
-// answer-path swap or a stale Π(D) served as fresh.
-func (r *Registry) Register(id string, scheme *core.Scheme, data []byte) (st *Store, err error) {
-	if scheme == nil {
-		return nil, fmt.Errorf("store: register %q: nil scheme", id)
+// RegisterDataset returns the dataset registered under id, building it on
+// first call. compat is consulted when id already has a completed entry: it
+// decides whether the existing dataset satisfies this registration (nil
+// accepts anything). build runs at most once per id across any number of
+// concurrent registrations; a failed or panicking build is not memoized, so
+// a later corrected attempt can retry.
+//
+// This is the generic seam plain Register and internal/shard's sharded
+// registration both ride: one catalog entry per ID, one build per ID, and
+// Get/Answer paths that never observe a half-built dataset.
+func (r *Registry) RegisterDataset(id string, compat func(Dataset) error, build func() (Dataset, error)) (ds Dataset, err error) {
+	if build == nil {
+		return nil, fmt.Errorf("store: register %q: nil build function", id)
 	}
 	r.mu.Lock()
 	if e, ok := r.entries[id]; ok {
@@ -72,14 +109,12 @@ func (r *Registry) Register(id string, scheme *core.Scheme, data []byte) (st *St
 		if e.err != nil {
 			return nil, e.err
 		}
-		if e.store.Scheme.Name() != scheme.Name() {
-			return nil, fmt.Errorf("store: dataset %q already registered with scheme %s (got %s)",
-				id, e.store.Scheme.Name(), scheme.Name())
+		if compat != nil {
+			if err := compat(e.ds); err != nil {
+				return nil, err
+			}
 		}
-		if e.store.DataSum != SumData(data) {
-			return nil, fmt.Errorf("store: dataset %q already registered with different data (re-register under a new id)", id)
-		}
-		return e.store, nil
+		return e.ds, nil
 	}
 	e := &regEntry{done: make(chan struct{})}
 	r.entries[id] = e
@@ -92,21 +127,69 @@ func (r *Registry) Register(id string, scheme *core.Scheme, data []byte) (st *St
 	// wedge the dataset or kill a serving process.
 	defer func() {
 		if p := recover(); p != nil {
-			e.err = fmt.Errorf("store: register %q: preprocess (%s) panicked: %v", id, scheme.Name(), p)
+			e.err = fmt.Errorf("store: register %q: build panicked: %v", id, p)
 		}
 		if e.err != nil {
 			// Failed registrations are not memoized: drop the entry so a
 			// later attempt (fixed data, fixed scheme) can retry.
-			e.store = nil
+			e.ds = nil
 			r.mu.Lock()
 			delete(r.entries, id)
 			r.mu.Unlock()
 		}
 		close(e.done)
-		st, err = e.store, e.err
+		ds, err = e.ds, e.err
 	}()
-	e.store, e.err = r.build(id, scheme, data)
-	return e.store, e.err
+	e.ds, e.err = build()
+	return e.ds, e.err
+}
+
+// Register returns the preprocessed store for id, creating it on first
+// call: reload from a fresh snapshot if the registry is persistent and one
+// matches (same scheme, same data digest), otherwise run scheme.Preprocess
+// and persist the result. Re-registering an existing id with the same
+// scheme and the same data returns the memoized store; a different scheme
+// name, a different data digest, or an id held by a sharded dataset is an
+// error rather than a silent answer-path swap or a stale Π(D) served as
+// fresh.
+func (r *Registry) Register(id string, scheme *core.Scheme, data []byte) (*Store, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("store: register %q: nil scheme", id)
+	}
+	sum := SumData(data)
+	ds, err := r.RegisterDataset(id,
+		func(d Dataset) error {
+			if d.SchemeName() != scheme.Name() {
+				return fmt.Errorf("store: dataset %q already registered with scheme %s (got %s)",
+					id, d.SchemeName(), scheme.Name())
+			}
+			if d.DataDigest() != sum {
+				return fmt.Errorf("store: dataset %q already registered with different data (re-register under a new id)", id)
+			}
+			// A ShardedStore with n=1 also reports ShardCount()==1, so the
+			// type check — not the count — decides whether the plain path
+			// owns this id.
+			if _, ok := d.(*Store); !ok {
+				return fmt.Errorf("store: dataset %q is registered sharded (%d shards); re-register through the sharded path",
+					id, d.ShardCount())
+			}
+			return nil
+		},
+		func() (Dataset, error) {
+			st, err := r.build(id, scheme, data)
+			if err != nil {
+				return nil, err
+			}
+			return st, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := ds.(*Store)
+	if !ok {
+		return nil, fmt.Errorf("store: dataset %q is not a plain store", id)
+	}
+	return st, nil
 }
 
 // build produces the store for one first-time registration.
@@ -133,10 +216,23 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 	return st, nil
 }
 
-// Get returns the store registered under id, if any. Registrations still
-// in flight count as present: Get waits for them, so a Get racing a
-// Register never observes a half-built store.
+// Get returns the plain store registered under id, if any. Registrations
+// still in flight count as present: Get waits for them, so a Get racing a
+// Register never observes a half-built store. IDs registered through the
+// sharded path are not plain stores and report false; use GetDataset for
+// the scheme-agnostic answer path.
 func (r *Registry) Get(id string) (*Store, bool) {
+	ds, ok := r.GetDataset(id)
+	if !ok {
+		return nil, false
+	}
+	st, ok := ds.(*Store)
+	return st, ok
+}
+
+// GetDataset returns the dataset registered under id — plain or sharded —
+// waiting out a registration still in flight.
+func (r *Registry) GetDataset(id string) (Dataset, bool) {
 	r.mu.Lock()
 	e, ok := r.entries[id]
 	r.mu.Unlock()
@@ -147,7 +243,7 @@ func (r *Registry) Get(id string) (*Store, bool) {
 	if e.err != nil {
 		return nil, false
 	}
-	return e.store, true
+	return e.ds, true
 }
 
 // IDs returns the completed dataset IDs, sorted. Registrations still in
@@ -190,10 +286,19 @@ func (r *Registry) Len() int {
 
 // PreprocessCount reports how many Preprocess calls this registry has run —
 // the preprocess-once contract's observable: it stays at one per distinct
-// dataset no matter how many registrations or restarts-with-snapshots
-// happen.
+// (unsharded) dataset no matter how many registrations or
+// restarts-with-snapshots happen. A sharded registration counts one call
+// per shard preprocessed.
 func (r *Registry) PreprocessCount() int64 { return r.preprocessCount.Load() }
 
 // LoadCount reports how many stores were reloaded from snapshots instead of
-// preprocessed.
+// preprocessed (one per shard for sharded datasets).
 func (r *Registry) LoadCount() int64 { return r.loadCount.Load() }
+
+// NotePreprocess folds an externally run Preprocess call into the
+// registry's counters. Composite registrations (internal/shard) preprocess
+// their parts outside build and report here so /v1/stats stays truthful.
+func (r *Registry) NotePreprocess() { r.preprocessCount.Add(1) }
+
+// NoteLoad is NotePreprocess for snapshot reloads.
+func (r *Registry) NoteLoad() { r.loadCount.Add(1) }

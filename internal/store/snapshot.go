@@ -13,6 +13,11 @@
 // the fields framed with the same self-delimiting pair codec (core.PadPair)
 // the formal framework uses for instance encoding. Corrupt or truncated
 // files are rejected with errors, never panics (see the fuzz harness).
+//
+// The registry's catalog is shape-agnostic: an entry is any Dataset — a
+// plain Store here, or a composite like internal/shard's ShardedStore
+// plugged in through RegisterDataset — and the HTTP server answers through
+// that interface, so new dataset shapes need no serving changes.
 package store
 
 import (
@@ -101,35 +106,41 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// Save writes a snapshot atomically: encode, write to a temp file in the
-// target directory, fsync, rename. A crash mid-save leaves either the old
-// snapshot or none — never a torn file (the checksum catches torn files
-// from less careful writers).
-func Save(path string, s *Snapshot) error {
+// WriteFileAtomic writes b to path atomically: temp file in the target
+// directory, fsync, rename. A crash mid-write leaves either the old file or
+// none — never a torn one. It is the durability primitive behind Save and
+// the shard manifest writer.
+func WriteFileAtomic(path string, b []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: save %s: %w", path, err)
+		return fmt.Errorf("store: write %s: %w", path, err)
 	}
-	tmp, err := os.CreateTemp(dir, ".pitract-snapshot-*")
+	tmp, err := os.CreateTemp(dir, ".pitract-atomic-*")
 	if err != nil {
-		return fmt.Errorf("store: save %s: %w", path, err)
+		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(EncodeSnapshot(s)); err != nil {
+	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: save %s: %w", path, err)
+		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: save %s: %w", path, err)
+		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: save %s: %w", path, err)
+		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: save %s: %w", path, err)
+		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	return nil
+}
+
+// Save writes a snapshot atomically (see WriteFileAtomic); the checksum in
+// the encoding catches torn files from less careful writers.
+func Save(path string, s *Snapshot) error {
+	return WriteFileAtomic(path, EncodeSnapshot(s))
 }
 
 // Load reads and validates a snapshot file.
@@ -166,6 +177,24 @@ type Store struct {
 	// fresh Preprocess call (false).
 	Loaded bool
 }
+
+// DatasetID implements Dataset.
+func (st *Store) DatasetID() string { return st.ID }
+
+// SchemeName implements Dataset.
+func (st *Store) SchemeName() string { return st.Scheme.Name() }
+
+// DataDigest implements Dataset.
+func (st *Store) DataDigest() DataChecksum { return st.DataSum }
+
+// PrepBytes implements Dataset: the size of Π(D).
+func (st *Store) PrepBytes() int { return len(st.Prep) }
+
+// ShardCount implements Dataset: a plain store is its own single shard.
+func (st *Store) ShardCount() int { return 1 }
+
+// WasLoaded implements Dataset.
+func (st *Store) WasLoaded() bool { return st.Loaded }
 
 // Answer decides one query against the preprocessed store.
 func (st *Store) Answer(q []byte) (bool, error) {

@@ -35,11 +35,23 @@
 // `pitract serve` subcommand; experiment X3 measures the served path
 // against direct Answer calls.
 //
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
-// results.
+// On top of that sits horizontal scaling: a dataset can be partitioned
+// across n preprocessed stores (BuildShardedStore, RegisterSharded, the
+// server's ?shards=N parameter, the CLI's -shards flag) with hash or range
+// partitioning. Queries route to the shard owning their answer or fan out
+// to every shard and merge scheme-specifically (reachability ORs the
+// same-shard verdict with a cross-edge portal-overlay check); differential
+// tests pin sharded answers identical to unsharded ones, and experiment X4
+// measures preprocess time, snapshot bytes, and served QPS per shard
+// count.
+//
+// See README.md for a tour, docs/ARCHITECTURE.md for the layer map,
+// docs/API.md for the HTTP reference, and EXPERIMENTS.md for
+// paper-vs-measured results.
 package pitract
 
 import (
+	"fmt"
 	"io"
 
 	"pitract/internal/circuit"
@@ -52,6 +64,7 @@ import (
 	"pitract/internal/relation"
 	"pitract/internal/schemes"
 	"pitract/internal/server"
+	"pitract/internal/shard"
 	"pitract/internal/store"
 	"pitract/internal/tm"
 	"pitract/internal/topk"
@@ -228,6 +241,73 @@ var (
 	// ServeCatalog lists the schemes a server offers for registration,
 	// keyed by scheme name.
 	ServeCatalog = server.Catalog
+)
+
+// --- sharded stores (internal/shard) --------------------------------------------
+
+type (
+	// Dataset is the registry's answer-path interface: a plain Store or a
+	// ShardedStore, served identically (see StoreRegistry.GetDataset and
+	// the HTTP server's query paths).
+	Dataset = store.Dataset
+	// ShardedStore serves one dataset from n partitioned preprocessed
+	// stores behind a single catalog entry, routing each query to its
+	// owning shard or fanning out and merging verdicts.
+	ShardedStore = shard.ShardedStore
+	// Partitioner plans how element keys spread over shards (hash or
+	// range).
+	Partitioner = shard.Partitioner
+	// ShardAssignment is a frozen key→shard mapping, persisted in the
+	// shard manifest so restarts route exactly like the original process.
+	ShardAssignment = shard.Assignment
+	// Sharding is the per-scheme hook bundle (split, route, fan-out,
+	// merge) that adapts one scheme to partitioned stores.
+	Sharding = shard.Sharding
+	// ShardManifest binds one sharded dataset's snapshot files together
+	// with per-shard SHA-256 integrity.
+	ShardManifest = shard.Manifest
+)
+
+// NewHashPartitioner spreads keys by 64-bit FNV-1a hash modulo the shard
+// count — balanced for any distribution; range queries fan out.
+func NewHashPartitioner() Partitioner { return shard.HashPartitioner{} }
+
+// NewRangePartitioner cuts the sorted key space at quantile boundaries so
+// each shard owns a contiguous, roughly equal-population key range and
+// in-bucket range queries route to a single shard.
+func NewRangePartitioner() Partitioner { return shard.RangePartitioner{} }
+
+// BuildShardedStore cuts data into n parts, preprocesses each
+// concurrently, and assembles a sharded store for the scheme (which must
+// have a sharded form — see ShardingForScheme). Nothing is persisted; use
+// RegisterSharded with a persistent registry for snapshots + manifest.
+func BuildShardedStore(id string, scheme *Scheme, p Partitioner, n int, data []byte) (*ShardedStore, error) {
+	sh := shard.ForScheme(scheme.Name())
+	if sh == nil {
+		return nil, fmt.Errorf("pitract: scheme %s has no sharded form (shardable: %v)",
+			scheme.Name(), shard.ShardableSchemes())
+	}
+	return shard.Build(id, scheme, sh, p, n, data)
+}
+
+var (
+	// RegisterSharded registers data as n partitioned stores behind one
+	// registry catalog entry, with the same exactly-once build and
+	// snapshot-reload contract as StoreRegistry.Register.
+	RegisterSharded = shard.RegisterSharded
+	// ShardingForScheme returns a scheme's sharded form, or nil when the
+	// scheme has none (BDS visit orders and CVP gate tables are global
+	// artifacts).
+	ShardingForScheme = shard.ForScheme
+	// ShardableSchemes lists the scheme names with sharded forms.
+	ShardableSchemes = shard.ShardableSchemes
+	// PartitionerByName resolves "hash"/"range" (the HTTP API's
+	// ?partitioner values and the CLI's -partitioner flag).
+	PartitionerByName = shard.PartitionerByName
+	// LoadShardedStore reopens a persisted sharded dataset, verifying the
+	// manifest and every shard snapshot's SHA-256; damage fails with a
+	// clean error.
+	LoadShardedStore = shard.LoadSharded
 )
 
 // --- the PRAM engine (internal/pram) -------------------------------------------

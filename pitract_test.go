@@ -132,8 +132,8 @@ func TestRunExperimentAndErrors(t *testing.T) {
 		t.Fatalf("error %v does not name the id", err)
 	}
 	_ = unknown
-	if len(Experiments()) != 26 {
-		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1/X2/X3", len(Experiments()))
+	if len(Experiments()) != 27 {
+		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1…X4", len(Experiments()))
 	}
 }
 
@@ -309,5 +309,73 @@ func TestFacadeServingFlow(t *testing.T) {
 		if out.Answer != want {
 			t.Fatalf("query %d: served %v, store says %v", c, out.Answer, want)
 		}
+	}
+}
+
+// TestFacadeShardingFlow drives sharding through the public API alone:
+// build a sharded store, check it against the unsharded scheme, register
+// it persistently, and reload it across a registry restart.
+func TestFacadeShardingFlow(t *testing.T) {
+	g := CommunityGraph(3, 10, 12, 13)
+	scheme := ReachabilityScheme()
+	d := g.Encode()
+
+	ss, err := BuildShardedStore("g", scheme, NewRangePartitioner(), 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.ShardCount() != 3 {
+		t.Fatalf("ShardCount = %d, want 3", ss.ShardCount())
+	}
+	prep, err := scheme.Preprocess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 3 {
+		for v := 0; v < g.N(); v += 4 {
+			q := NodePairQuery(u, v)
+			want, err := scheme.Answer(prep, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ss.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("reach(%d,%d): sharded %v, unsharded %v", u, v, got, want)
+			}
+		}
+	}
+
+	if ShardingForScheme(scheme.Name()) == nil {
+		t.Fatal("reachability must have a sharded form")
+	}
+	if ShardingForScheme("bds/visit-order") != nil {
+		t.Fatal("BDS must not have a sharded form")
+	}
+	if _, err := PartitionerByName("range"); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	reg := NewStoreRegistry(dir)
+	if _, err := RegisterSharded(reg, "g", scheme, NewHashPartitioner(), 2, d); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadShardedStore(dir, "g", scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.ShardCount() != 2 || !reloaded.WasLoaded() {
+		t.Fatalf("reloaded sharded store: %d shards, loaded=%v", reloaded.ShardCount(), reloaded.WasLoaded())
+	}
+	ok, err := reloaded.Answer(NodePairQuery(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scheme.Answer(prep, NodePairQuery(0, 1))
+	if err != nil || ok != want {
+		t.Fatalf("reloaded answer %v, want %v (err %v)", ok, want, err)
 	}
 }
