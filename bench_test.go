@@ -34,33 +34,34 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkE1_PointSelection(b *testing.B)    { benchExperiment(b, "E1") }
-func BenchmarkF1_BDSFactorizations(b *testing.B) { benchExperiment(b, "F1") }
-func BenchmarkF2_Landscape(b *testing.B)         { benchExperiment(b, "F2") }
-func BenchmarkE3b_Reachability(b *testing.B)     { benchExperiment(b, "E3") }
-func BenchmarkC1_RangeSelection(b *testing.B)    { benchExperiment(b, "C1") }
-func BenchmarkC2_ListSearch(b *testing.B)        { benchExperiment(b, "C2") }
-func BenchmarkC3_RMQ(b *testing.B)               { benchExperiment(b, "C3") }
-func BenchmarkC4_LCA(b *testing.B)               { benchExperiment(b, "C4") }
-func BenchmarkC5_Compression(b *testing.B)       { benchExperiment(b, "C5") }
-func BenchmarkC6_Views(b *testing.B)             { benchExperiment(b, "C6") }
-func BenchmarkC7_Incremental(b *testing.B)       { benchExperiment(b, "C7") }
-func BenchmarkC8_CVP(b *testing.B)               { benchExperiment(b, "C8") }
-func BenchmarkC9_VertexCover(b *testing.B)       { benchExperiment(b, "C9") }
-func BenchmarkC10_TopK(b *testing.B)             { benchExperiment(b, "C10") }
-func BenchmarkC11_IncrementalPrep(b *testing.B)  { benchExperiment(b, "C11") }
-func BenchmarkC12_FuncAndRewriting(b *testing.B) { benchExperiment(b, "C12") }
-func BenchmarkT5_CompletenessChain(b *testing.B) { benchExperiment(b, "T5") }
-func BenchmarkL2_Composition(b *testing.B)       { benchExperiment(b, "L2") }
-func BenchmarkT9_Separation(b *testing.B)        { benchExperiment(b, "T9") }
-func BenchmarkP10_FReductions(b *testing.B)      { benchExperiment(b, "P10") }
-func BenchmarkA1_ClosureAblation(b *testing.B)   { benchExperiment(b, "A1") }
-func BenchmarkA2_BTreeFanout(b *testing.B)       { benchExperiment(b, "A2") }
-func BenchmarkA3_RMQAblation(b *testing.B)       { benchExperiment(b, "A3") }
-func BenchmarkX1_ParallelPRAM(b *testing.B)      { benchExperiment(b, "X1") }
-func BenchmarkX2_BatchAnswering(b *testing.B)    { benchExperiment(b, "X2") }
-func BenchmarkX3_Serving(b *testing.B)           { benchExperiment(b, "X3") }
-func BenchmarkX4_Sharding(b *testing.B)          { benchExperiment(b, "X4") }
+func BenchmarkE1_PointSelection(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkF1_BDSFactorizations(b *testing.B)  { benchExperiment(b, "F1") }
+func BenchmarkF2_Landscape(b *testing.B)          { benchExperiment(b, "F2") }
+func BenchmarkE3b_Reachability(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkC1_RangeSelection(b *testing.B)     { benchExperiment(b, "C1") }
+func BenchmarkC2_ListSearch(b *testing.B)         { benchExperiment(b, "C2") }
+func BenchmarkC3_RMQ(b *testing.B)                { benchExperiment(b, "C3") }
+func BenchmarkC4_LCA(b *testing.B)                { benchExperiment(b, "C4") }
+func BenchmarkC5_Compression(b *testing.B)        { benchExperiment(b, "C5") }
+func BenchmarkC6_Views(b *testing.B)              { benchExperiment(b, "C6") }
+func BenchmarkC7_Incremental(b *testing.B)        { benchExperiment(b, "C7") }
+func BenchmarkC8_CVP(b *testing.B)                { benchExperiment(b, "C8") }
+func BenchmarkC9_VertexCover(b *testing.B)        { benchExperiment(b, "C9") }
+func BenchmarkC10_TopK(b *testing.B)              { benchExperiment(b, "C10") }
+func BenchmarkC11_IncrementalPrep(b *testing.B)   { benchExperiment(b, "C11") }
+func BenchmarkC12_FuncAndRewriting(b *testing.B)  { benchExperiment(b, "C12") }
+func BenchmarkT5_CompletenessChain(b *testing.B)  { benchExperiment(b, "T5") }
+func BenchmarkL2_Composition(b *testing.B)        { benchExperiment(b, "L2") }
+func BenchmarkT9_Separation(b *testing.B)         { benchExperiment(b, "T9") }
+func BenchmarkP10_FReductions(b *testing.B)       { benchExperiment(b, "P10") }
+func BenchmarkA1_ClosureAblation(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2_BTreeFanout(b *testing.B)        { benchExperiment(b, "A2") }
+func BenchmarkA3_RMQAblation(b *testing.B)        { benchExperiment(b, "A3") }
+func BenchmarkX1_ParallelPRAM(b *testing.B)       { benchExperiment(b, "X1") }
+func BenchmarkX2_BatchAnswering(b *testing.B)     { benchExperiment(b, "X2") }
+func BenchmarkX3_Serving(b *testing.B)            { benchExperiment(b, "X3") }
+func BenchmarkX4_Sharding(b *testing.B)           { benchExperiment(b, "X4") }
+func BenchmarkX5_IncrementalServing(b *testing.B) { benchExperiment(b, "X5") }
 
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same

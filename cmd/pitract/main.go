@@ -25,7 +25,10 @@
 // POST a dataset once (paying PTIME preprocessing, persisted as a snapshot
 // under -data so restarts reload instead of recompute) and then answer any
 // number of queries in the NC budget via /v1/query and /v1/query/batch.
-// See the package pitract documentation and examples/serve for a client.
+// Datasets whose scheme has an incremental form are live-updatable: PATCH
+// /v1/datasets/{id} maintains Π(D ⊕ ∆D) in place, bumps the dataset
+// version, and re-snapshots atomically. See the package pitract
+// documentation, examples/serve, and examples/maintain for clients.
 package main
 
 import (
@@ -181,7 +184,7 @@ func cmdServe(args []string) int {
 	sort.Strings(schemes)
 	fmt.Printf("pitract serve: listening on %s, %s\n", ln.Addr(), persistence)
 	fmt.Printf("  schemes: %s\n", strings.Join(schemes, ", "))
-	fmt.Printf("  POST /v1/datasets · GET /v1/datasets · POST /v1/query · POST /v1/query/batch · GET /v1/stats · GET /healthz\n")
+	fmt.Printf("  POST /v1/datasets · GET /v1/datasets · GET/PATCH /v1/datasets/{id} · POST /v1/query · POST /v1/query/batch · GET /v1/stats · GET /healthz\n")
 
 	// Graceful shutdown: SIGINT/SIGTERM drains in-flight requests.
 	sigCh := make(chan os.Signal, 1)
@@ -249,7 +252,8 @@ running in parallel:
   X1 races the goroutine-parallel PRAM executor against the sequential
   oracle; X2 serves query batches through the AnswerBatch worker pool; X3
   measures end-to-end HTTP serving; X4 measures sharded preprocessing and
-  serving. All use one worker per CPU unless -parallel N overrides it.
+  serving; X5 measures PATCH-maintained Π(D ⊕ ∆D) against re-registering.
+  All use one worker per CPU unless -parallel N overrides it.
 
 serving:
   'pitract serve' exposes the preprocess-once/answer-many API: register a
@@ -258,6 +262,8 @@ serving:
   snapshot and reloaded on restart instead of recomputed. With -shards N
   (or per-request ?shards=N), a dataset is partitioned across N
   preprocessed stores and queries are routed to the owning shard or fanned
-  out and merged; see docs/ARCHITECTURE.md and docs/API.md.
+  out and merged. PATCH /v1/datasets/{id} maintains registered datasets in
+  place under deltas (Π(D ⊕ ∆D), versioned, re-snapshotted atomically);
+  see docs/ARCHITECTURE.md and docs/API.md.
 `)
 }

@@ -68,7 +68,7 @@ var apiExamples = []apiExample{
 		path:       "/v1/datasets",
 		reqBody:    `{"id":"m","scheme":"list-membership/sorted","data":"AwIEBg=="}`,
 		wantStatus: http.StatusOK,
-		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1}`,
+		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1,"version":0}`,
 	},
 	{
 		name:       "register-sharded",
@@ -76,7 +76,7 @@ var apiExamples = []apiExample{
 		path:       "/v1/datasets?shards=2&partitioner=hash",
 		reqBody:    `{"id":"m2","scheme":"list-membership/sorted","data":"AwIEBg=="}`,
 		wantStatus: http.StatusOK,
-		wantBody:   `{"id":"m2","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":2}`,
+		wantBody:   `{"id":"m2","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":2,"version":0}`,
 	},
 	{
 		name:       "register-hostile-409",
@@ -98,7 +98,7 @@ var apiExamples = []apiExample{
 		method:     http.MethodGet,
 		path:       "/v1/datasets",
 		wantStatus: http.StatusOK,
-		wantBody:   `{"datasets":[{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1},{"id":"m2","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":2}]}`,
+		wantBody:   `{"datasets":[{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1,"version":0},{"id":"m2","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":2,"version":0}]}`,
 	},
 	{
 		name:       "query",
@@ -106,15 +106,62 @@ var apiExamples = []apiExample{
 		path:       "/v1/query",
 		reqBody:    `{"dataset":"m","query":"goCAgICAgICAAQ=="}`,
 		wantStatus: http.StatusOK,
-		wantBody:   `{"answer":true}`,
+		wantBody:   `{"answer":true,"version":0}`,
+	},
+	{
+		name:       "query-before-patch",
+		method:     http.MethodPost,
+		path:       "/v1/query",
+		reqBody:    `{"dataset":"m","query":"iYCAgICAgICAAQ=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"answer":false,"version":0}`,
+	},
+	{
+		name:       "patch",
+		method:     http.MethodPatch,
+		path:       "/v1/datasets/m",
+		reqBody:    `{"deltas":["ARI="]}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":32,"loaded":false,"shards":1,"version":1}`,
+	},
+	{
+		name:       "query-after-patch",
+		method:     http.MethodPost,
+		path:       "/v1/query",
+		reqBody:    `{"dataset":"m","query":"iYCAgICAgICAAQ=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"answer":true,"version":1}`,
+	},
+	{
+		name:       "get-dataset",
+		method:     http.MethodGet,
+		path:       "/v1/datasets/m",
+		wantStatus: http.StatusOK,
+		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":32,"loaded":false,"shards":1,"version":1}`,
+	},
+	{
+		name:       "patch-hostile-409",
+		method:     http.MethodPatch,
+		path:       "/v1/datasets/m",
+		reqBody:    `{"deltas":["////"]}`,
+		wantStatus: http.StatusConflict,
+		wantBody:   `{"error":"store: apply delta to \"m\": store: delta 0: schemes: corrupt list header (nothing applied)"}`,
+	},
+	{
+		name:       "patch-unknown-404",
+		method:     http.MethodPatch,
+		path:       "/v1/datasets/ghost",
+		reqBody:    `{"deltas":["ARI="]}`,
+		wantStatus: http.StatusNotFound,
+		wantBody:   `{"error":"dataset \"ghost\" not registered"}`,
 	},
 	{
 		name:       "batch",
 		method:     http.MethodPost,
 		path:       "/v1/query/batch",
-		reqBody:    `{"dataset":"m","queries":["goCAgICAgICAAQ==","iYCAgICAgICAAQ=="],"parallelism":2}`,
+		reqBody:    `{"dataset":"m2","queries":["goCAgICAgICAAQ==","iYCAgICAgICAAQ=="],"parallelism":2}`,
 		wantStatus: http.StatusOK,
-		wantBody:   `{"answers":[true,false]}`,
+		wantBody:   `{"answers":[true,false],"version":0}`,
 	},
 }
 
@@ -178,6 +225,8 @@ func TestAPIDocMatchesServer(t *testing.T) {
 		PreprocessCalls int64 `json:"preprocess_calls"`
 		SnapshotLoads   int64 `json:"snapshot_loads"`
 		Queries         int64 `json:"queries"`
+		DeltasApplied   int64 `json:"deltas_applied"`
+		MaintenanceNs   int64 `json:"maintenance_ns"`
 		PerScheme       map[string]struct {
 			Queries   int64 `json:"queries"`
 			Errors    int64 `json:"errors"`
@@ -187,16 +236,19 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatalf("stats response does not match the documented shape: %v", err)
 	}
-	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 3 {
+	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 5 {
 		t.Fatalf("stats counters diverge from the documented example: %+v", stats)
 	}
+	if stats.DeltasApplied != 1 || stats.MaintenanceNs <= 0 {
+		t.Fatalf("maintenance counters diverge from the documented example: %+v", stats)
+	}
 	ss, ok := stats.PerScheme["list-membership/sorted"]
-	if !ok || ss.Queries != 3 || ss.Errors != 0 {
+	if !ok || ss.Queries != 5 || ss.Errors != 0 {
 		t.Fatalf("per-scheme stats diverge from the documented example: %+v", stats.PerScheme)
 	}
 
 	// Every endpoint the server registers must be documented.
-	for _, endpoint := range []string{"/healthz", "/v1/datasets", "/v1/query", "/v1/query/batch", "/v1/stats"} {
+	for _, endpoint := range []string{"/healthz", "/v1/datasets", "/v1/datasets/{id}", "/v1/query", "/v1/query/batch", "/v1/stats"} {
 		if !strings.Contains(doc, endpoint) {
 			t.Errorf("docs/API.md does not document %s", endpoint)
 		}

@@ -1,0 +1,146 @@
+// Maintain: incremental serving end-to-end. The paper's §1 justification
+// (3) argues preprocessing pays off because Π(D) can be *maintained* under
+// updates instead of recomputed; this example runs that loop against the
+// live HTTP API: register a dataset (one PTIME Preprocess), watch a query
+// answer false, PATCH a delta (Π(D ⊕ ∆D) maintained in place, snapshot
+// rewritten atomically), watch the same query answer true at a bumped
+// version — then restart the server over the same data directory and show
+// the maintained Π reload with zero Preprocess calls.
+//
+//	go run ./examples/maintain
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pitract"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pitract-maintain-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- lifetime 1: register, patch, query.
+	base, shutdown := serve(dir)
+	data := pitract.RelationFromKeys([]int64{2, 4, 6, 8})
+
+	var info struct {
+		Loaded  bool   `json:"loaded"`
+		Version uint64 `json:"version"`
+	}
+	must(call("POST", base+"/v1/datasets", map[string]interface{}{
+		"id": "d", "scheme": "point-selection/sorted-keys", "data": data,
+	}, &info))
+	fmt.Printf("registered: loaded=%v version=%d\n", info.Loaded, info.Version)
+
+	var q struct {
+		Answer  bool   `json:"answer"`
+		Version uint64 `json:"version"`
+	}
+	must(call("POST", base+"/v1/query", map[string]interface{}{
+		"dataset": "d", "query": pitract.PointQuery(9),
+	}, &q))
+	fmt.Printf("is 9 selected?  %v (version %d)\n", q.Answer, q.Version)
+
+	// PATCH the delta: insert keys 9 and 11. Π is maintained by the
+	// sorted-file merge — O(|D| + |∆D|) — not re-sorted from scratch.
+	must(call("PATCH", base+"/v1/datasets/d", map[string]interface{}{
+		"deltas": [][]byte{pitract.KeysDelta([]int64{9, 11})},
+	}, &info))
+	fmt.Printf("patched: version=%d\n", info.Version)
+
+	must(call("POST", base+"/v1/query", map[string]interface{}{
+		"dataset": "d", "query": pitract.PointQuery(9),
+	}, &q))
+	fmt.Printf("is 9 selected?  %v (version %d)\n", q.Answer, q.Version)
+	shutdown()
+
+	// --- lifetime 2: restart over the same directory. The maintained
+	// snapshot (version 1) reloads; nothing is re-preprocessed.
+	base, shutdown = serve(dir)
+	defer shutdown()
+	must(call("POST", base+"/v1/datasets", map[string]interface{}{
+		"id": "d", "scheme": "point-selection/sorted-keys", "data": data,
+	}, &info))
+	var stats struct {
+		PreprocessCalls int64 `json:"preprocess_calls"`
+		SnapshotLoads   int64 `json:"snapshot_loads"`
+	}
+	must(call("GET", base+"/v1/stats", nil, &stats))
+	fmt.Printf("restart: loaded=%v version=%d preprocess_calls=%d snapshot_loads=%d\n",
+		info.Loaded, info.Version, stats.PreprocessCalls, stats.SnapshotLoads)
+	must(call("POST", base+"/v1/query", map[string]interface{}{
+		"dataset": "d", "query": pitract.PointQuery(9),
+	}, &q))
+	fmt.Printf("is 9 selected?  %v (version %d) — the delta survived the restart\n", q.Answer, q.Version)
+}
+
+// serve starts a pitract server over dir on a random port, returning its
+// base URL and a shutdown function.
+func serve(dir string) (string, func()) {
+	srv := pitract.NewServer(pitract.NewStoreRegistry(dir), nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// call issues one JSON request and decodes the JSON response.
+func call(method, url string, body, out interface{}) error {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -2,13 +2,20 @@ package schemes
 
 // Incremental preprocessing (§1 justification (3); see
 // core.IncrementalScheme): maintain Π(D ⊕ ∆D) from Π(D) and ∆D instead of
-// re-preprocessing. Two instances:
+// re-preprocessing. The instances:
 //
-//   - the sorted-key file of the point-selection scheme under tuple
-//     insertions (merge in O(|D| + |∆D|), versus O(|D| log |D|) re-sorting);
+//   - the sorted-key file of the point/range-selection and list-membership
+//     schemes under insertions (merge in O(|D| + |∆D|), versus
+//     O(|D| log |D|) re-sorting);
 //   - the reachability closure matrix under edge insertions (ancestor-row
 //     OR-ing, work proportional to the affected rows — the §4(7) bounded
-//     flavour).
+//     flavour);
+//   - the BFS-per-query baseline, whose "preprocessed" string is the graph
+//     itself, so maintenance is appending the edge.
+//
+// IncrementalForScheme is the catalog the serving layers route through:
+// store.Registry.ApplyDelta and the HTTP PATCH /v1/datasets/{id} path
+// resolve a dataset's incremental form by scheme name there.
 
 import (
 	"encoding/binary"
@@ -23,42 +30,134 @@ import (
 // scheme.
 func KeysDelta(keys []int64) []byte { return EncodeList(keys) }
 
+// IncrementalForScheme returns the incremental form of a scheme, or nil
+// when the scheme has none (e.g. the point-selection scan baseline keeps no
+// maintained structure, and BDS visit orders are global artifacts an
+// insertion can reshuffle wholesale). This is the catalog the serving
+// layers consult: store.Registry.ApplyDelta and the server's PATCH
+// /v1/datasets/{id} handler resolve a registered dataset's maintenance
+// path here by scheme name.
+func IncrementalForScheme(name string) *core.IncrementalScheme {
+	switch name {
+	case "point-selection/sorted-keys":
+		return IncrementalPointSelection()
+	case "range-selection/sorted-keys":
+		return IncrementalRangeSelection()
+	case "list-membership/sorted":
+		return IncrementalListMembership()
+	case "reachability/closure-matrix":
+		return IncrementalReachability()
+	case "reachability/bfs-per-query":
+		return IncrementalReachabilityBFS()
+	default:
+		return nil
+	}
+}
+
+// MaintainableSchemes lists the scheme names IncrementalForScheme accepts,
+// for error messages and docs.
+func MaintainableSchemes() []string {
+	return []string{
+		"list-membership/sorted",
+		"point-selection/sorted-keys",
+		"range-selection/sorted-keys",
+		"reachability/bfs-per-query",
+		"reachability/closure-matrix",
+	}
+}
+
+// mergeSortedKeyFiles merges a sorted fixed-width key file with a sorted
+// batch of new keys, dropping duplicates — the shared maintenance step of
+// every sorted-key-file scheme.
+func mergeSortedKeyFiles(pd, sorted []byte) []byte {
+	out := make([]byte, 0, len(pd)+len(sorted))
+	i, j := 0, 0
+	for i < len(pd) && j < len(sorted) {
+		a := binary.BigEndian.Uint64(pd[i:])
+		b := binary.BigEndian.Uint64(sorted[j:])
+		switch {
+		case a < b:
+			out = append(out, pd[i:i+8]...)
+			i += 8
+		case b < a:
+			out = append(out, sorted[j:j+8]...)
+			j += 8
+		default:
+			out = append(out, pd[i:i+8]...)
+			i += 8
+			j += 8
+		}
+	}
+	out = append(out, pd[i:]...)
+	out = append(out, sorted[j:]...)
+	return out
+}
+
+// applyKeysDelta is the shared ApplyDelta of the sorted-key-file schemes.
+func applyKeysDelta(pd, delta []byte) ([]byte, error) {
+	if len(pd)%8 != 0 {
+		return nil, fmt.Errorf("schemes: corrupt sorted-key file (%d bytes)", len(pd))
+	}
+	newKeys, err := DecodeList(delta)
+	if err != nil {
+		return nil, err
+	}
+	return mergeSortedKeyFiles(pd, putSortedKeys(dedupSorted(newKeys))), nil
+}
+
+// appendRelationKeys is the ⊕ of the relation-backed selection schemes:
+// append one tuple per inserted key.
+func appendRelationKeys(d, delta []byte) ([]byte, error) {
+	rel, err := relation.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	newKeys, err := DecodeList(delta)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range newKeys {
+		if err := rel.Append(relation.Tuple{relation.Int(k), relation.Str("")}); err != nil {
+			return nil, err
+		}
+	}
+	return rel.Encode(), nil
+}
+
 // IncrementalPointSelection returns the point-selection scheme extended
 // with merge-based maintenance of its sorted key file.
 func IncrementalPointSelection() *core.IncrementalScheme {
 	return &core.IncrementalScheme{
-		Scheme: PointSelectionScheme(),
-		ApplyDelta: func(pd, delta []byte) ([]byte, error) {
-			newKeys, err := DecodeList(delta)
-			if err != nil {
-				return nil, err
-			}
-			sorted := putSortedKeys(dedupSorted(newKeys))
-			// Merge two sorted fixed-width files, dropping duplicates.
-			out := make([]byte, 0, len(pd)+len(sorted))
-			i, j := 0, 0
-			for i < len(pd) && j < len(sorted) {
-				a := binary.BigEndian.Uint64(pd[i:])
-				b := binary.BigEndian.Uint64(sorted[j:])
-				switch {
-				case a < b:
-					out = append(out, pd[i:i+8]...)
-					i += 8
-				case b < a:
-					out = append(out, sorted[j:j+8]...)
-					j += 8
-				default:
-					out = append(out, pd[i:i+8]...)
-					i += 8
-					j += 8
-				}
-			}
-			out = append(out, pd[i:]...)
-			out = append(out, sorted[j:]...)
-			return out, nil
-		},
+		Scheme:      PointSelectionScheme(),
+		ApplyDelta:  applyKeysDelta,
+		ApplyUpdate: appendRelationKeys,
+		DeltaNote:   "O(|D|/8 + |∆D| log |∆D|) merge vs O(|D| log |D|) re-sort",
+	}
+}
+
+// IncrementalRangeSelection is IncrementalPointSelection for the range
+// scheme: the two share the sorted-key-file artifact, so the same merge
+// maintains both.
+func IncrementalRangeSelection() *core.IncrementalScheme {
+	return &core.IncrementalScheme{
+		Scheme:      RangeSelectionScheme(),
+		ApplyDelta:  applyKeysDelta,
+		ApplyUpdate: appendRelationKeys,
+		DeltaNote:   "O(|D|/8 + |∆D| log |∆D|) merge vs O(|D| log |D|) re-sort",
+	}
+}
+
+// IncrementalListMembership maintains the §4(2) sorted list under element
+// insertions with the same merge. Note: the merge deduplicates, while a
+// fresh Preprocess of the appended list keeps duplicates, so maintained and
+// rebuilt Π are verdict-equivalent but not byte-equivalent when an inserted
+// element was already a member.
+func IncrementalListMembership() *core.IncrementalScheme {
+	return &core.IncrementalScheme{
+		Scheme:     ListMembershipScheme(),
+		ApplyDelta: applyKeysDelta,
 		ApplyUpdate: func(d, delta []byte) ([]byte, error) {
-			rel, err := relation.Decode(d)
+			list, err := DecodeList(d)
 			if err != nil {
 				return nil, err
 			}
@@ -66,14 +165,9 @@ func IncrementalPointSelection() *core.IncrementalScheme {
 			if err != nil {
 				return nil, err
 			}
-			for _, k := range newKeys {
-				if err := rel.Append(relation.Tuple{relation.Int(k), relation.Str("")}); err != nil {
-					return nil, err
-				}
-			}
-			return rel.Encode(), nil
+			return EncodeList(append(list, newKeys...)), nil
 		},
-		DeltaNote: "O(|D|/8 + |∆D| log |∆D|) merge vs O(|D| log |D|) re-sort",
+		DeltaNote: "O(|M|/8 + |∆M| log |∆M|) merge vs O(|M| log |M|) re-sort",
 	}
 }
 
@@ -99,62 +193,91 @@ func dedupSorted(keys []int64) []int64 {
 // EdgeDelta encodes an edge insertion for the reachability scheme.
 func EdgeDelta(u, v int) []byte { return core.EncodeUint64(uint64(u), uint64(v)) }
 
+// closureInsertArc ORs one arc insertion (u, v) into a closure bitset in
+// place: every row that reaches u gains v's descendant row. Rows are read
+// from the evolving matrix, which is sound — OR-ing only ever adds true
+// transitive facts.
+func closureInsertArc(out []byte, n, u, v int) {
+	bit := func(r, c int) bool {
+		idx := r*n + c
+		return out[8+idx/8]&(1<<(idx%8)) != 0
+	}
+	if bit(u, v) {
+		return // already implied; |∆O| = 0
+	}
+	for a := 0; a < n; a++ {
+		if !bit(a, u) {
+			continue
+		}
+		for c := 0; c < n; c++ {
+			if bit(v, c) {
+				idx := a*n + c
+				out[8+idx/8] |= 1 << (idx % 8)
+			}
+		}
+	}
+}
+
 // IncrementalReachability returns the closure-matrix scheme extended with
 // §4(7)-style maintenance: inserting (u, v) ORs v's descendant row into
-// every ancestor row of u, touching only affected rows.
+// every ancestor row of u, touching only affected rows. The closure
+// header's orientation flag decides whether the symmetric arc is inserted
+// too, so undirected datasets stay equivalent to a from-scratch rebuild
+// (whose AddEdge is symmetric).
 func IncrementalReachability() *core.IncrementalScheme {
 	return &core.IncrementalScheme{
 		Scheme: ReachabilityScheme(),
 		ApplyDelta: func(pd, delta []byte) ([]byte, error) {
-			if len(pd) < 8 {
-				return nil, fmt.Errorf("schemes: corrupt closure header")
+			n, undirected, err := closureHeader(pd)
+			if err != nil {
+				return nil, err
 			}
 			u, v, err := DecodeNodePairQuery(delta)
 			if err != nil {
 				return nil, err
 			}
-			n := int(binary.BigEndian.Uint64(pd))
 			if u < 0 || u >= n || v < 0 || v >= n || u == v {
 				return nil, fmt.Errorf("schemes: bad edge delta (%d,%d)", u, v)
 			}
 			out := append([]byte(nil), pd...)
-			bit := func(b []byte, r, c int) bool {
-				idx := r*n + c
-				return b[8+idx/8]&(1<<(idx%8)) != 0
-			}
-			setBit := func(b []byte, r, c int) {
-				idx := r*n + c
-				b[8+idx/8] |= 1 << (idx % 8)
-			}
-			if bit(out, u, v) {
-				return out, nil // already implied; |∆O| = 0
-			}
-			for a := 0; a < n; a++ {
-				if !bit(out, a, u) {
-					continue
-				}
-				for c := 0; c < n; c++ {
-					if bit(pd, v, c) {
-						setBit(out, a, c)
-					}
-				}
+			closureInsertArc(out, n, u, v)
+			if undirected {
+				closureInsertArc(out, n, v, u)
 			}
 			return out, nil
 		},
-		ApplyUpdate: func(d, delta []byte) ([]byte, error) {
-			g, err := graph.Decode(d)
-			if err != nil {
-				return nil, err
-			}
-			u, v, err := DecodeNodePairQuery(delta)
-			if err != nil {
-				return nil, err
-			}
-			if err := g.AddEdge(u, v); err != nil {
-				return nil, err
-			}
-			return g.Encode(), nil
-		},
-		DeltaNote: "O(|ancestors(u)| · n/8) words vs O(n·(n+m)/8) recompute",
+		ApplyUpdate: addEdgeToGraph,
+		DeltaNote:   "O(|ancestors(u)| · n/8) words vs O(n·(n+m)/8) recompute",
+	}
+}
+
+// addEdgeToGraph decodes a graph, inserts one edge, and re-encodes — both
+// the ⊕ of the reachability schemes and the whole maintenance step of the
+// BFS baseline (whose preprocessed string is the graph itself).
+func addEdgeToGraph(d, delta []byte) ([]byte, error) {
+	g, err := graph.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	u, v, err := DecodeNodePairQuery(delta)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.AddEdge(u, v); err != nil {
+		return nil, err
+	}
+	return g.Encode(), nil
+}
+
+// IncrementalReachabilityBFS maintains the BFS-per-query baseline, whose
+// Π(D) is D: inserting an edge appends it to the graph encoding. There is
+// nothing index-shaped to maintain, which is exactly why the baseline pays
+// O(|V|+|E|) per query forever.
+func IncrementalReachabilityBFS() *core.IncrementalScheme {
+	return &core.IncrementalScheme{
+		Scheme:      ReachabilityBFSScheme(),
+		ApplyDelta:  addEdgeToGraph,
+		ApplyUpdate: addEdgeToGraph,
+		DeltaNote:   "O(|V|+|E|) re-encode (Π = D); queries stay O(|V|+|E|)",
 	}
 }

@@ -315,13 +315,42 @@ func ReachabilityLanguage() core.Language {
 	}
 }
 
-// closureBytes lays out an n-vertex closure as an 8-byte header plus a
-// row-major bitset.
+// ClosureUndirectedFlag is set in the closure header's top bit when the
+// closure was built from an undirected graph. Vertex counts are capped at
+// graph.MaxDecodeVertices (2²⁴), so the bit is always free; readers mask
+// it off. Incremental maintenance needs it: inserting an undirected edge
+// must OR reachability in both orientations, and the closure alone —
+// without this flag — cannot tell the two graph kinds apart. (Closures
+// persisted before the flag existed read as directed, which is what every
+// pre-existing snapshot in this repository holds.)
+const ClosureUndirectedFlag = uint64(1) << 63
+
+// closureHeader parses and validates the closure header against the
+// payload length.
+func closureHeader(pd []byte) (n int, undirected bool, err error) {
+	if len(pd) < 8 {
+		return 0, false, fmt.Errorf("schemes: corrupt closure header")
+	}
+	raw := binary.BigEndian.Uint64(pd)
+	undirected = raw&ClosureUndirectedFlag != 0
+	n64 := raw &^ ClosureUndirectedFlag
+	if n64 > uint64(graph.MaxDecodeVertices) || len(pd) != 8+(int(n64)*int(n64)+7)/8 {
+		return 0, false, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d", len(pd)-8, n64)
+	}
+	return int(n64), undirected, nil
+}
+
+// closureBytes lays out an n-vertex closure as an 8-byte header (vertex
+// count plus the orientation flag) and a row-major bitset.
 func closureBytes(g *graph.Graph) []byte {
 	n := g.N()
 	c := graph.NewClosure(g)
 	b := make([]byte, 8+(n*n+7)/8)
-	binary.BigEndian.PutUint64(b, uint64(n))
+	header := uint64(n)
+	if !g.Directed() {
+		header |= ClosureUndirectedFlag
+	}
+	binary.BigEndian.PutUint64(b, header)
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if c.Reach(u, v) {
@@ -334,12 +363,9 @@ func closureBytes(g *graph.Graph) []byte {
 }
 
 func closureReach(pd []byte, u, v int) (bool, error) {
-	if len(pd) < 8 {
-		return false, fmt.Errorf("schemes: corrupt closure header")
-	}
-	n := int(binary.BigEndian.Uint64(pd))
-	if n < 0 || len(pd) != 8+(n*n+7)/8 {
-		return false, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d", len(pd)-8, n)
+	n, _, err := closureHeader(pd)
+	if err != nil {
+		return false, err
 	}
 	if u < 0 || u >= n || v < 0 || v >= n {
 		return false, fmt.Errorf("schemes: node pair (%d,%d) out of range [0,%d)", u, v, n)

@@ -7,16 +7,21 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness + dataset count
-//	POST /v1/datasets      register (and preprocess) a dataset; ?shards=n
-//	                       partitions it across n preprocessed stores
-//	GET  /v1/datasets      list registered datasets
-//	POST /v1/query         answer one query
-//	POST /v1/query/batch   answer a batch through the worker pool
-//	GET  /v1/stats         per-scheme query counts and latency totals
+//	GET   /healthz              liveness + dataset count
+//	POST  /v1/datasets          register (and preprocess) a dataset; ?shards=n
+//	                            partitions it across n preprocessed stores
+//	GET   /v1/datasets          list registered datasets
+//	GET   /v1/datasets/{id}     describe one dataset
+//	PATCH /v1/datasets/{id}     apply a delta batch: Π(D ⊕ ∆D) maintained in
+//	                            place through the scheme's incremental form
+//	POST  /v1/query             answer one query
+//	POST  /v1/query/batch       answer a batch through the worker pool
+//	GET   /v1/stats             per-scheme query counts and latency totals,
+//	                            plus deltas applied and maintenance latency
 //
-// Data and queries travel base64-encoded (encoding/json's []byte rule), so
-// the wire format is exactly the library's byte-string instance encoding.
+// Data, queries, and deltas travel base64-encoded (encoding/json's []byte
+// rule), so the wire format is exactly the library's byte-string instance
+// encoding.
 //
 // The answer paths are routed through store.Dataset, so a dataset
 // registered with ?shards=n (or under the CLI's -shards default) serves
@@ -28,11 +33,14 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -98,6 +106,11 @@ type Server struct {
 
 	statsMu sync.Mutex
 	stats   map[string]*schemeStats
+	// maintenanceNs sums the wall time of successful PATCH maintenance
+	// (the deltas-applied count itself lives on the registry, next to the
+	// preprocess and snapshot-load counters, so library-side ApplyDelta
+	// calls are counted too).
+	maintenanceNs int64
 
 	// httpSrv is created in New so Shutdown always has a target, even when
 	// it races the start of Serve (http.Server.Shutdown before Serve makes
@@ -119,6 +132,7 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/v1/datasets/", s.handleDatasetByID)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -206,6 +220,20 @@ type DatasetInfo struct {
 	// Shards is the number of preprocessed stores backing the dataset
 	// (1 = unsharded).
 	Shards int `json:"shards"`
+	// Version is the dataset's monotonic maintenance version: 0 as
+	// registered, +1 per delta applied through PATCH. Snapshot reloads
+	// restore it, so it never regresses across restarts.
+	Version uint64 `json:"version"`
+}
+
+// PatchRequest applies a batch of deltas to a registered dataset:
+// Π ← Π(D ⊕ ∆D₁ ⊕ … ⊕ ∆Dₖ), maintained in place through the scheme's
+// incremental form instead of re-preprocessing. Each delta uses the
+// scheme's delta encoding (schemes.KeysDelta for the sorted-key schemes,
+// schemes.EdgeDelta for reachability). The batch is atomic: every delta
+// commits — with a bumped version and a rewritten snapshot — or none do.
+type PatchRequest struct {
+	Deltas [][]byte `json:"deltas"`
 }
 
 // QueryRequest answers one query against a registered dataset.
@@ -214,9 +242,13 @@ type QueryRequest struct {
 	Query   []byte `json:"query"`
 }
 
-// QueryResponse is one verdict.
+// QueryResponse is one verdict. Version is the dataset maintenance version
+// observed when the query was admitted; the answer reflects that version
+// or a newer one (never an older or partially applied state), and versions
+// reported to one client never regress.
 type QueryResponse struct {
-	Answer bool `json:"answer"`
+	Answer  bool   `json:"answer"`
+	Version uint64 `json:"version"`
 }
 
 // BatchRequest answers many queries through the AnswerBatch worker pool.
@@ -228,18 +260,25 @@ type BatchRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 }
 
-// BatchResponse carries the verdicts in query order.
+// BatchResponse carries the verdicts in query order, all answered against
+// one consistent dataset version (see QueryResponse on version semantics).
 type BatchResponse struct {
 	Answers []bool `json:"answers"`
+	Version uint64 `json:"version"`
 }
 
 // StatsResponse reports serving counters since process start.
 type StatsResponse struct {
-	Datasets        int                    `json:"datasets"`
-	PreprocessCalls int64                  `json:"preprocess_calls"`
-	SnapshotLoads   int64                  `json:"snapshot_loads"`
-	Queries         int64                  `json:"queries"`
-	PerScheme       map[string]schemeStats `json:"per_scheme"`
+	Datasets        int   `json:"datasets"`
+	PreprocessCalls int64 `json:"preprocess_calls"`
+	SnapshotLoads   int64 `json:"snapshot_loads"`
+	Queries         int64 `json:"queries"`
+	// DeltasApplied counts deltas committed through PATCH; MaintenanceNs
+	// sums the wall time spent applying them (incremental maintenance plus
+	// snapshot rewriting).
+	DeltasApplied int64                  `json:"deltas_applied"`
+	MaintenanceNs int64                  `json:"maintenance_ns"`
+	PerScheme     map[string]schemeStats `json:"per_scheme"`
 }
 
 type errorResponse struct {
@@ -287,6 +326,69 @@ func datasetInfo(ds store.Dataset) DatasetInfo {
 		PrepBytes: ds.PrepBytes(),
 		Loaded:    ds.WasLoaded(),
 		Shards:    ds.ShardCount(),
+		Version:   ds.Version(),
+	}
+}
+
+// handleDatasetByID serves the per-dataset subresource /v1/datasets/{id}:
+// GET describes it, PATCH maintains it in place under a batch of deltas.
+// The id segment is unescaped exactly once from the ESCAPED path —
+// r.URL.Path is already percent-decoded, so unescaping it again would
+// mis-address ids containing '%' (and 404 ids like "50%"). Ids with '/'
+// are addressable as %2F.
+func (s *Server) handleDatasetByID(w http.ResponseWriter, r *http.Request) {
+	rawID := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/datasets/")
+	id, err := url.PathUnescape(rawID)
+	if err != nil || id == "" || strings.Contains(rawID, "/") {
+		writeError(w, http.StatusNotFound, "bad dataset path %q", r.URL.Path)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		ds, ok := s.lookup(w, id)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, datasetInfo(ds))
+	case http.MethodPatch:
+		var req PatchRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if len(req.Deltas) == 0 {
+			writeError(w, http.StatusBadRequest, "empty delta batch")
+			return
+		}
+		ds, ok := s.lookup(w, id)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		if _, err := s.reg.ApplyDelta(id, req.Deltas); err != nil {
+			var nf *store.NotFoundError
+			var pe *store.PersistError
+			switch {
+			case errors.As(err, &nf):
+				writeError(w, http.StatusNotFound, "%v", err)
+			case errors.As(err, &pe):
+				// The deltas were applicable; writing the durable artifact
+				// failed (disk full, I/O error). A server fault, not a
+				// conflicting request — nothing was committed.
+				writeError(w, http.StatusInternalServerError, "%v", err)
+			default:
+				// Everything else — a scheme with no incremental form, a
+				// sharded form without delta routing, a hostile delta
+				// payload — is a conflict with the dataset's current state;
+				// the dataset, its registry entry, and its snapshot are
+				// untouched.
+				writeError(w, http.StatusConflict, "%v", err)
+			}
+			return
+		}
+		s.recordMaintenance(time.Since(start))
+		writeJSON(w, http.StatusOK, datasetInfo(ds))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or PATCH")
 	}
 }
 
@@ -404,6 +506,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// The version is read before the answer, so the verdict reflects this
+	// version or newer — reported versions are monotonic and never label an
+	// answer with a state it has not seen.
+	version := ds.Version()
 	start := time.Now()
 	ans, err := ds.Answer(req.Query)
 	served := 1
@@ -415,7 +521,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Answer: ans})
+	writeJSON(w, http.StatusOK, QueryResponse{Answer: ans, Version: version})
 }
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
@@ -435,6 +541,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if parallelism > maxBatchParallelism {
 		parallelism = maxBatchParallelism
 	}
+	version := ds.Version() // before the batch: see handleQuery
 	start := time.Now()
 	answers, err := ds.AnswerBatch(req.Queries, parallelism)
 	// Count only queries actually answered: AnswerBatch fails fast and
@@ -445,7 +552,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Answers: answers})
+	writeJSON(w, http.StatusOK, BatchResponse{Answers: answers, Version: version})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -464,8 +571,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.PerScheme[name] = *st
 		resp.Queries += st.Queries
 	}
+	resp.MaintenanceNs = s.maintenanceNs
 	s.statsMu.Unlock()
+	resp.DeltasApplied = s.reg.DeltaCount()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordMaintenance folds one successful PATCH into the latency counter.
+func (s *Server) recordMaintenance(elapsed time.Duration) {
+	s.statsMu.Lock()
+	s.maintenanceNs += elapsed.Nanoseconds()
+	s.statsMu.Unlock()
 }
 
 // record folds one answer-path call into the per-scheme counters.

@@ -18,20 +18,27 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"pitract/internal/core"
 	"pitract/internal/store"
 )
 
 // manifestMagic opens every shard manifest; the trailing byte is the
-// format version.
-var manifestMagic = []byte("PITRACTM\x01")
+// format version. Version 2 added the maintenance version counter and
+// generation-suffixed shard snapshot files (incremental serving), and the
+// reachability summary gained its cross-edge list in the same change —
+// version-1 manifests are therefore rejected cleanly (the next
+// registration rebuilds from the data) instead of half-loading.
+var manifestMagic = []byte("PITRACTM\x02")
 
 // Manifest describes one persisted sharded dataset.
 type Manifest struct {
 	// SchemeName names the scheme that preprocessed every shard.
 	SchemeName string
-	// DataSum digests the raw, unsplit dataset.
+	// DataSum digests the raw, unsplit dataset as originally registered;
+	// deltas advance Version, not the digest.
 	DataSum store.DataChecksum
 	// Partitioner is the partitioner name ("hash", "range").
 	Partitioner string
@@ -39,6 +46,12 @@ type Manifest struct {
 	Assignment []byte
 	// Summary is the cross-shard state (scheme-specific; may be empty).
 	Summary []byte
+	// Version is the dataset's maintenance version: how many deltas have
+	// been applied since registration. It doubles as the shard snapshot
+	// file generation — the manifest only ever names files of its own
+	// generation, so a crash mid-maintenance can never mix old and new
+	// shard artifacts.
+	Version uint64
 	// ShardSums holds the SHA-256 of each shard snapshot file, indexed by
 	// shard; its length is the shard count.
 	ShardSums [][sha256.Size]byte
@@ -52,7 +65,7 @@ func appendBytesField(dst, b []byte) []byte {
 // EncodeManifest renders the manifest in its on-disk format:
 //
 //	magic ‖ version ‖ crc32(payload) ‖ payload
-//	payload = scheme ‖ dataSum ‖ partitioner ‖ assignment ‖ summary ‖ n ‖ n×sha256
+//	payload = scheme ‖ dataSum ‖ partitioner ‖ assignment ‖ summary ‖ maintVersion ‖ n ‖ n×sha256
 //
 // with every variable-length field uvarint-length-prefixed.
 func EncodeManifest(m *Manifest) []byte {
@@ -62,6 +75,7 @@ func EncodeManifest(m *Manifest) []byte {
 	payload = appendBytesField(payload, []byte(m.Partitioner))
 	payload = appendBytesField(payload, m.Assignment)
 	payload = appendBytesField(payload, m.Summary)
+	payload = binary.AppendUvarint(payload, m.Version)
 	payload = binary.AppendUvarint(payload, uint64(len(m.ShardSums)))
 	for _, s := range m.ShardSums {
 		payload = append(payload, s[:]...)
@@ -123,6 +137,12 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 		return nil, err
 	}
 	m.Summary = append([]byte(nil), m.Summary...)
+	ver, k := binary.Uvarint(payload[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: corrupt manifest maintenance version")
+	}
+	m.Version = ver
+	off += k
 	cnt, k := binary.Uvarint(payload[off:])
 	if k <= 0 {
 		return nil, fmt.Errorf("shard: corrupt manifest shard count")
@@ -149,39 +169,86 @@ func ManifestPath(dir, id string) string {
 }
 
 // ShardSnapshotPath maps (dataset ID, shard index) to the shard's snapshot
-// file under dir. The extension is deliberately NOT the plain registry's
-// ".pitract": url.PathEscape keeps '.' intact, so a plain dataset id like
-// "g.shard000" would otherwise map to the same file as sharded dataset
-// "g"'s shard 0 and the two would silently clobber each other's
-// artifacts.
+// file under dir at generation 0 (as registered). The extension is
+// deliberately NOT the plain registry's ".pitract": url.PathEscape keeps
+// '.' intact, so a plain dataset id like "g.shard000" would otherwise map
+// to the same file as sharded dataset "g"'s shard 0 and the two would
+// silently clobber each other's artifacts.
 func ShardSnapshotPath(dir, id string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("%s.shard%03d.pitract-shard", url.PathEscape(id), i))
+	return shardSnapshotPathGen(dir, id, i, 0)
 }
 
-// SaveSharded persists a sharded store under dir: every shard snapshot
-// first (atomic each), the manifest last (atomic), so the manifest only
-// ever names files that are fully on disk. On failure the written shard
-// files are best-effort removed; without a manifest they are dead weight,
-// not a visible dataset.
-func SaveSharded(dir, id string, ss *ShardedStore, partitioner string) error {
-	m := &Manifest{
-		SchemeName:  ss.Scheme.Name(),
-		DataSum:     ss.DataSum,
-		Partitioner: partitioner,
-		Assignment:  ss.Asn.Encode(),
-		Summary:     ss.Summary,
-		ShardSums:   make([][sha256.Size]byte, len(ss.Stores)),
+// shardSnapshotPathGen maps (dataset ID, shard index, generation) to a
+// shard snapshot file. Maintenance writes each new dataset version as a
+// fresh generation of files and commits it by atomically renaming the
+// manifest that names them — the manifest on disk therefore always
+// references a complete, self-consistent generation. Superseded or
+// orphaned generations (including those left by a crash between the
+// manifest rename and the cleanup) are reclaimed by sweepShardGenerations
+// on the next successful maintenance.
+func shardSnapshotPathGen(dir, id string, i int, gen uint64) string {
+	if gen == 0 {
+		return filepath.Join(dir, fmt.Sprintf("%s.shard%03d.pitract-shard", url.PathEscape(id), i))
 	}
-	written := make([]string, 0, len(ss.Stores))
+	return filepath.Join(dir, fmt.Sprintf("%s.shard%03d.v%d.pitract-shard", url.PathEscape(id), i, gen))
+}
+
+// sweepShardGenerations best-effort deletes every shard snapshot file of
+// the dataset that does not belong to generation keep — not just the
+// immediately preceding one, so generations orphaned by an earlier crash
+// (committed manifest, interrupted cleanup) cannot accumulate.
+func sweepShardGenerations(dir, id string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	prefix := url.PathEscape(id) + ".shard"
+	const ext = ".pitract-shard"
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		// The generation part: "NNN" (gen 0) or "NNN.vG" for gen G.
+		mid := name[len(prefix) : len(name)-len(ext)]
+		gen := uint64(0)
+		if i := strings.Index(mid, ".v"); i >= 0 {
+			g, err := strconv.ParseUint(mid[i+2:], 10, 64)
+			if err != nil {
+				continue // not ours
+			}
+			gen = g
+			mid = mid[:i]
+		}
+		// %03d widens past 3 digits for shard indexes >= 1000 (the library
+		// has no shard cap, only the HTTP server does), so accept any
+		// all-digit index of at least the padded width.
+		if len(mid) < 3 || strings.Trim(mid, "0123456789") != "" {
+			continue // not a shard index of ours
+		}
+		if gen != keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// writeShardGeneration persists one complete generation: every shard
+// snapshot encoding first (atomic each, at the manifest's generation), the
+// manifest last (atomic) — the commit point, so the manifest only ever
+// names files that are fully on disk. On failure the written shard files
+// are best-effort removed; without a manifest naming them they are dead
+// weight, not a visible dataset.
+func writeShardGeneration(dir, id string, m *Manifest, encs [][]byte) error {
+	m.ShardSums = make([][sha256.Size]byte, len(encs))
+	written := make([]string, 0, len(encs))
 	cleanup := func() {
 		for _, p := range written {
 			os.Remove(p)
 		}
 	}
-	for i, st := range ss.Stores {
-		enc := store.EncodeSnapshot(st.Snapshot())
+	for i, enc := range encs {
 		m.ShardSums[i] = sha256.Sum256(enc)
-		path := ShardSnapshotPath(dir, id, i)
+		path := shardSnapshotPathGen(dir, id, i, m.Version)
 		if err := store.WriteFileAtomic(path, enc); err != nil {
 			cleanup()
 			return fmt.Errorf("shard: save %q: %w", id, err)
@@ -193,6 +260,46 @@ func SaveSharded(dir, id string, ss *ShardedStore, partitioner string) error {
 		return fmt.Errorf("shard: save %q: %w", id, err)
 	}
 	return nil
+}
+
+// SaveSharded persists a sharded store under dir (see writeShardGeneration
+// for the commit discipline).
+func SaveSharded(dir, id string, ss *ShardedStore, partitioner string) error {
+	m := &Manifest{
+		SchemeName:  ss.Scheme.Name(),
+		DataSum:     ss.DataSum,
+		Partitioner: partitioner,
+		Assignment:  ss.Asn.Encode(),
+		Summary:     ss.Summary,
+		Version:     ss.Version(),
+	}
+	encs := make([][]byte, len(ss.Stores))
+	for i, st := range ss.Stores {
+		encs[i] = store.EncodeSnapshot(st.Snapshot())
+	}
+	return writeShardGeneration(dir, id, m, encs)
+}
+
+// saveMaintainedStaged persists the staged (pending) maintenance state as
+// generation newVersion, leaving the previous generation intact until the
+// manifest rename commits the new one. Called by ApplyDeltas under the
+// maintenance mutex, before the in-memory commit.
+func (ss *ShardedStore) saveMaintainedStaged(dir string, pending [][]byte, summary []byte, newVersion uint64) error {
+	m := &Manifest{
+		SchemeName:  ss.Scheme.Name(),
+		DataSum:     ss.DataSum,
+		Partitioner: ss.Partitioner,
+		Assignment:  ss.Asn.Encode(),
+		Summary:     summary,
+		Version:     newVersion,
+	}
+	encs := make([][]byte, len(pending))
+	for i, prep := range pending {
+		snap := ss.Stores[i].Snapshot()
+		snap.Prep, snap.Version = prep, newVersion
+		encs[i] = store.EncodeSnapshot(snap)
+	}
+	return writeShardGeneration(dir, ss.ID, m, encs)
 }
 
 // LoadSharded reopens a persisted sharded dataset: read and validate the
@@ -236,8 +343,11 @@ func LoadSharded(dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
 		Loaded:      true,
 		Partitioner: m.Partitioner,
 	}
+	ss.SetVersion(m.Version)
 	for i, want := range m.ShardSums {
-		path := ShardSnapshotPath(dir, id, i)
+		// The manifest names its own generation of shard files, so a load
+		// can never mix pre- and post-maintenance artifacts.
+		path := shardSnapshotPathGen(dir, id, i, m.Version)
 		enc, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("shard: open %q: shard %d: %w", id, i, err)
@@ -260,6 +370,7 @@ func LoadSharded(dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
 			DataSum: snap.DataSum,
 			Loaded:  true,
 		}
+		ss.Stores[i].SetVersion(snap.Version)
 	}
 	return ss, nil
 }

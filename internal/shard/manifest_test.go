@@ -49,8 +49,9 @@ func TestManifestRejectsCorruption(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":          {},
 		"short":          enc[:5],
-		"bad-magic":      append([]byte("XITRACTM\x01"), enc[9:]...),
-		"bad-version":    append([]byte("PITRACTM\x02"), enc[9:]...),
+		"bad-magic":      append([]byte("XITRACTM\x02"), enc[9:]...),
+		"bad-version":    append([]byte("PITRACTM\x03"), enc[9:]...),
+		"old-version":    append([]byte("PITRACTM\x01"), enc[9:]...),
 		"flipped-byte":   append(append([]byte{}, enc[:len(enc)-1]...), enc[len(enc)-1]^0xff),
 		"truncated-tail": enc[:len(enc)-2],
 	}

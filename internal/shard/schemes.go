@@ -25,10 +25,25 @@ func ForScheme(name string) *Sharding {
 		return rangeSelectionSharding()
 	case "list-membership/sorted":
 		return listMembershipSharding()
-	case "reachability/closure-matrix", "reachability/bfs-per-query":
-		return reachabilitySharding()
+	case "reachability/closure-matrix":
+		return reachabilitySharding(true)
+	case "reachability/bfs-per-query":
+		// No delta routing: see reachabilitySharding on why maintenance
+		// would cost more than re-registering for the BFS baseline.
+		return reachabilitySharding(false)
 	default:
 		return nil
+	}
+}
+
+// DeltaCapableSchemes lists the scheme names whose sharded form routes
+// deltas (a subset of ShardableSchemes), for error messages and docs.
+func DeltaCapableSchemes() []string {
+	return []string{
+		"list-membership/sorted",
+		"point-selection/sorted-keys",
+		"range-selection/sorted-keys",
+		"reachability/closure-matrix",
 	}
 }
 
@@ -95,12 +110,35 @@ func splitRelation(data []byte, asn Assignment) ([][]byte, error) {
 	return out, nil
 }
 
+// splitKeysDelta routes a key-insertion batch (schemes.KeysDelta) to the
+// shards that own the new keys under the frozen assignment — the sharded
+// delta path of every key-partitioned scheme. Each shard receives one
+// local KeysDelta holding exactly its keys, applied through the same
+// sorted-file merge an unsharded store uses.
+func splitKeysDelta(delta []byte, asn Assignment, _ interface{}) (map[int][][]byte, error) {
+	keys, err := schemes.DecodeList(delta)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[int][]int64{}
+	for _, k := range keys {
+		s := asn.Shard(k)
+		groups[s] = append(groups[s], k)
+	}
+	out := make(map[int][][]byte, len(groups))
+	for s, g := range groups {
+		out[s] = [][]byte{schemes.KeysDelta(g)}
+	}
+	return out, nil
+}
+
 // pointSelectionSharding: point queries always route — the owning shard is
 // the one the query key hashes or ranges to — so no fan-out and no merge.
 func pointSelectionSharding() *Sharding {
 	return &Sharding{
-		Keys:  relationKeys,
-		Split: splitRelation,
+		Keys:       relationKeys,
+		Split:      splitRelation,
+		SplitDelta: splitKeysDelta,
 		Route: func(q []byte, asn Assignment) (int, error) {
 			c, err := schemes.DecodePointQuery(q)
 			if err != nil {
@@ -117,8 +155,9 @@ func pointSelectionSharding() *Sharding {
 // verdicts OR together, the natural merge for an existential query.
 func rangeSelectionSharding() *Sharding {
 	return &Sharding{
-		Keys:  relationKeys,
-		Split: splitRelation,
+		Keys:       relationKeys,
+		Split:      splitRelation,
+		SplitDelta: splitKeysDelta,
 		Route: func(q []byte, asn Assignment) (int, error) {
 			lo, hi, err := schemes.DecodeRangeQuery(q)
 			if err != nil {
@@ -140,7 +179,8 @@ func rangeSelectionSharding() *Sharding {
 // listMembershipSharding: like point selection, with list datasets.
 func listMembershipSharding() *Sharding {
 	return &Sharding{
-		Keys: schemes.DecodeList,
+		Keys:       schemes.DecodeList,
+		SplitDelta: splitKeysDelta,
 		Split: func(data []byte, asn Assignment) ([][]byte, error) {
 			list, err := schemes.DecodeList(data)
 			if err != nil {

@@ -80,6 +80,37 @@ type Sharding struct {
 	// Merge reduces the fan-out verdicts (verdicts[i] is false for shards
 	// Fanout dropped); probe allows follow-up local queries. Nil means OR.
 	Merge func(q []byte, verdicts []bool, asn Assignment, summary interface{}, probe Probe) (bool, error)
+
+	// SplitDelta routes one dataset delta to the shards it lands on: the
+	// result maps a shard index to the local deltas (in application order)
+	// for that shard's store, each in the scheme's own delta encoding —
+	// e.g. a key-insertion batch splits by partitioner into one per-shard
+	// batch, and a same-shard edge insert becomes one relabelled local
+	// edge. An empty map is valid (a purely cross-shard delta touches only
+	// the summary). summary is Prepare's output *as of the start of the
+	// delta batch* — SplitDelta must only depend on summary state deltas
+	// cannot change (the vertex universe and relabelling, not derived
+	// connectivity). Nil SplitDelta means the sharded form has no delta
+	// routing: PATCH/ApplyDeltas is refused with a clean error and the
+	// dataset stays exactly as it was.
+	SplitDelta func(delta []byte, asn Assignment, summary interface{}) (map[int][][]byte, error)
+	// UpdateSummary maintains the cross-shard summary's *structure* after
+	// one delta's local deltas have been applied (e.g. extends the
+	// reachability cross-edge list and portal set). Derived state that is
+	// expensive to recompute belongs in FinishSummary, which runs once per
+	// batch. probe answers local queries against the updated (pending, not
+	// yet committed) per-shard stores. Nil means the summary never changes
+	// under deltas (schemes without summaries). The []byte-in/[]byte-out
+	// shape keeps the hook scheme-agnostic at the cost of a summary
+	// decode/encode per structure-changing delta; schemes should
+	// short-circuit deltas that provably leave the structure unchanged
+	// (reachability returns the input summary for same-shard edges).
+	UpdateSummary func(delta []byte, asn Assignment, summary []byte, probe Probe) ([]byte, error)
+	// FinishSummary recomputes the summary's derived state once after the
+	// whole delta batch (e.g. the reachability overlay closure, which
+	// costs portal² probes — paying it per delta would waste k-1 of k
+	// rebuilds). Nil when UpdateSummary leaves nothing deferred.
+	FinishSummary func(asn Assignment, summary []byte, probe Probe) ([]byte, error)
 }
 
 // ShardedStore is one dataset served from n per-shard preprocessed stores
@@ -109,20 +140,41 @@ type ShardedStore struct {
 	// snapshots.
 	Partitioner string
 
-	// prepared memoizes Sharding.Prepare(Summary) for the answer paths.
-	prepOnce sync.Once
+	// mu guards the mutable answer state — the per-shard preprocessed
+	// strings, Summary, and version — against ApplyDeltas. Answer and
+	// AnswerBatch hold the read lock for the whole call, so a query (even a
+	// fan-out touching every shard plus the summary) always observes one
+	// fully applied version, never shard i old and shard j new. The write
+	// lock is held only for the commit swap — staging and snapshot I/O run
+	// under maintMu — so queries never wait on maintenance work.
+	mu sync.RWMutex
+	// maintMu serializes maintainers; see store.Store.
+	maintMu sync.Mutex
+	// version counts the deltas applied since registration (restored from
+	// the manifest on reload).
+	version uint64
+
+	// prepared memoizes Sharding.Prepare(Summary) for the answer paths;
+	// ApplyDeltas refreshes it when a delta changes the summary.
+	prepMu   sync.Mutex
+	prepDone bool
 	prepared interface{}
 	prepErr  error
 }
 
-// summaryView returns the decoded summary, preparing it exactly once.
+// summaryView returns the decoded summary, preparing it once per summary
+// value. Callers hold ss.mu (read or write), which orders it against
+// ApplyDeltas' refresh.
 func (ss *ShardedStore) summaryView() (interface{}, error) {
 	if ss.Sharding.Prepare == nil {
 		return ss.Summary, nil
 	}
-	ss.prepOnce.Do(func() {
+	ss.prepMu.Lock()
+	defer ss.prepMu.Unlock()
+	if !ss.prepDone {
 		ss.prepared, ss.prepErr = ss.Sharding.Prepare(ss.Summary)
-	})
+		ss.prepDone = true
+	}
 	return ss.prepared, ss.prepErr
 }
 
@@ -138,9 +190,11 @@ func (ss *ShardedStore) DataDigest() store.DataChecksum { return ss.DataSum }
 // PrepBytes implements store.Dataset: the summed per-shard artifacts plus
 // the cross-shard summary.
 func (ss *ShardedStore) PrepBytes() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	total := len(ss.Summary)
 	for _, st := range ss.Stores {
-		total += len(st.Prep)
+		total += st.PrepBytes()
 	}
 	return total
 }
@@ -151,6 +205,19 @@ func (ss *ShardedStore) ShardCount() int { return len(ss.Stores) }
 // WasLoaded implements store.Dataset.
 func (ss *ShardedStore) WasLoaded() bool { return ss.Loaded }
 
+// Version implements store.Dataset: the number of deltas applied since
+// registration.
+func (ss *ShardedStore) Version() uint64 {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.version
+}
+
+// SetVersion stamps the maintenance version on a freshly constructed store
+// (manifest reloads restore the persisted counter). It must not be called
+// once the store is shared; ApplyDeltas is the concurrent-safe mutation.
+func (ss *ShardedStore) SetVersion(v uint64) { ss.version = v }
+
 // probe answers one follow-up local query for Merge.
 func (ss *ShardedStore) probe(shardIdx int, localQuery []byte) (bool, error) {
 	if shardIdx < 0 || shardIdx >= len(ss.Stores) {
@@ -160,8 +227,12 @@ func (ss *ShardedStore) probe(shardIdx int, localQuery []byte) (bool, error) {
 }
 
 // Answer decides one query: routed queries hit their owning shard
-// unchanged; everything else fans out and merges.
+// unchanged; everything else fans out and merges. The read lock is held
+// for the whole call, so every shard probe and summary read within one
+// query sees the same maintenance version.
 func (ss *ShardedStore) Answer(q []byte) (bool, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	owner, err := ss.Sharding.Route(q, ss.Asn)
 	if err != nil {
 		return false, err
@@ -222,8 +293,12 @@ func (ss *ShardedStore) merge(q []byte, verdicts []bool) (bool, error) {
 // same per-scheme AnswerBatch worker pools a plain store uses: routed
 // queries are grouped into one batch per owning shard, fan-out queries
 // into one rewritten batch per shard, then merged per query. The first
-// error aborts the batch, matching core.Scheme.AnswerBatch semantics.
+// error aborts the batch, matching core.Scheme.AnswerBatch semantics. The
+// read lock is held across the whole batch, so all verdicts come from one
+// maintenance version.
 func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	n := len(ss.Stores)
 	results := make([]bool, len(queries))
 
@@ -383,6 +458,130 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 		}
 	}
 	return results, nil
+}
+
+// ApplyDeltas implements store.DeltaDataset: it maintains the sharded
+// dataset under a batch of deltas. Each delta is routed by the scheme's
+// SplitDelta hook to the shards it lands on (local deltas applied through
+// the scheme's incremental form, exactly as an unsharded store would), and
+// the cross-shard summary is maintained by UpdateSummary (with derived
+// state like the reachability overlay closure rebuilt once per batch by
+// FinishSummary), probing the pending post-delta shard state. The whole
+// batch is staged outside the served state — under the maintenance mutex,
+// never the reader-blocking lock — and committed at once: per-shard
+// strings, summary, and version swap together under the writer lock, and
+// with dir non-empty the new shard snapshots and manifest are durably on
+// disk (new generation files first, manifest rename as the atomic commit
+// point) before the in-memory commit. Any failure leaves the dataset, its
+// registry entry, and its persisted artifacts exactly as they were.
+//
+// Schemes whose sharded form has no delta routing (SplitDelta == nil)
+// refuse cleanly; the HTTP layer surfaces that as a 409.
+func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
+	if ss.Sharding.SplitDelta == nil {
+		return ss.Version(), fmt.Errorf("shard: scheme %s has no sharded delta routing; re-register unsharded to maintain it",
+			ss.Scheme.Name())
+	}
+	if inc == nil || inc.ApplyDelta == nil {
+		return ss.Version(), fmt.Errorf("shard: scheme %s has no incremental form", ss.Scheme.Name())
+	}
+	if dir != "" && ss.ID == "" {
+		return ss.Version(), fmt.Errorf("shard: cannot persist deltas for a store with no dataset ID")
+	}
+	// An empty batch is a no-op, never a persistence round-trip: writing
+	// generation v over itself and then "removing the old generation"
+	// would delete the files the manifest still names.
+	if len(deltas) == 0 {
+		return ss.Version(), nil
+	}
+	ss.maintMu.Lock()
+	defer ss.maintMu.Unlock()
+	n := len(ss.Stores)
+	pending := make([][]byte, n)
+	for i, st := range ss.Stores {
+		pending[i], _ = st.View()
+	}
+	// Summary is only written by maintainers (serialized on maintMu), so
+	// reading it here without ss.mu is ordered with every past commit.
+	summary := ss.Summary
+	oldVersion := ss.Version()
+	// probe answers local queries against the staged shard state, so
+	// summary maintenance for delta k sees deltas 1..k already applied.
+	probe := func(s int, q []byte) (bool, error) {
+		if s < 0 || s >= n {
+			return false, fmt.Errorf("shard: probe shard %d out of range [0,%d)", s, n)
+		}
+		return ss.Scheme.Answer(pending[s], q)
+	}
+	// SplitDelta receives the summary view as of the start of the batch —
+	// its contract only depends on delta-invariant summary state (vertex
+	// universe, local relabelling), so one Prepare serves the whole batch
+	// instead of one full summary decode per delta.
+	sv := interface{}(summary)
+	if ss.Sharding.Prepare != nil {
+		var err error
+		if sv, err = ss.Sharding.Prepare(summary); err != nil {
+			return oldVersion, fmt.Errorf("shard: prepare summary: %w (nothing applied)", err)
+		}
+	}
+	for di, delta := range deltas {
+		locals, err := ss.Sharding.SplitDelta(delta, ss.Asn, sv)
+		if err != nil {
+			return oldVersion, fmt.Errorf("shard: delta %d: %w (nothing applied)", di, err)
+		}
+		for s, lds := range locals {
+			if s < 0 || s >= n {
+				return oldVersion, fmt.Errorf("shard: delta %d routed to shard %d out of range [0,%d) (nothing applied)", di, s, n)
+			}
+			for _, ld := range lds {
+				if pending[s], err = inc.ApplyDelta(pending[s], ld); err != nil {
+					return oldVersion, fmt.Errorf("shard: delta %d on shard %d: %w (nothing applied)", di, s, err)
+				}
+			}
+		}
+		if ss.Sharding.UpdateSummary != nil {
+			if summary, err = ss.Sharding.UpdateSummary(delta, ss.Asn, summary, probe); err != nil {
+				return oldVersion, fmt.Errorf("shard: delta %d: summary: %w (nothing applied)", di, err)
+			}
+		}
+	}
+	// Derived summary state (e.g. the reachability overlay closure) is
+	// rebuilt once for the whole batch, not once per delta.
+	if ss.Sharding.FinishSummary != nil {
+		var err error
+		if summary, err = ss.Sharding.FinishSummary(ss.Asn, summary, probe); err != nil {
+			return oldVersion, fmt.Errorf("shard: finish summary: %w (nothing applied)", err)
+		}
+	}
+	newVersion := oldVersion + uint64(len(deltas))
+	if dir != "" {
+		if err := ss.saveMaintainedStaged(dir, pending, summary, newVersion); err != nil {
+			return oldVersion, &store.PersistError{Err: fmt.Errorf("shard: persist maintained snapshots: %w (nothing applied)", err)}
+		}
+	}
+	var prepared interface{}
+	var prepErr error
+	if ss.Sharding.Prepare != nil {
+		prepared, prepErr = ss.Sharding.Prepare(summary)
+	}
+	// Commit: everything swaps inside one writer-lock critical section,
+	// including the memoized prepared summary (refreshed under prepMu
+	// while still holding mu, so no reader can pair the new summary with
+	// the old prepared view).
+	ss.mu.Lock()
+	for i, st := range ss.Stores {
+		st.Replace(pending[i], newVersion)
+	}
+	ss.Summary = summary
+	ss.version = newVersion
+	ss.prepMu.Lock()
+	ss.prepared, ss.prepErr, ss.prepDone = prepared, prepErr, ss.Sharding.Prepare != nil
+	ss.prepMu.Unlock()
+	ss.mu.Unlock()
+	if dir != "" {
+		sweepShardGenerations(dir, ss.ID, newVersion)
+	}
+	return newVersion, nil
 }
 
 // Build cuts data into n parts with the partitioner, preprocesses every

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"pitract/internal/core"
+	"pitract/internal/schemes"
 )
 
 // Dataset is anything the registry can serve queries from: a plain Store
@@ -33,11 +34,30 @@ type Dataset interface {
 	// WasLoaded reports whether the dataset was reloaded from snapshots
 	// instead of freshly preprocessed.
 	WasLoaded() bool
+	// Version is the dataset's monotonic maintenance version: 0 as
+	// registered, bumped once per applied delta (see Registry.ApplyDelta).
+	// Restarts restore it from the snapshot, so it never goes backwards
+	// over the lifetime of the persisted dataset.
+	Version() uint64
 	// Answer decides one query.
 	Answer(q []byte) (bool, error)
 	// AnswerBatch answers queries concurrently through worker pools;
 	// parallelism <= 0 selects GOMAXPROCS.
 	AnswerBatch(queries [][]byte, parallelism int) ([]bool, error)
+}
+
+// DeltaDataset is the registry's mutation seam: datasets that can maintain
+// Π(D ⊕ ∆D) in place implement it — a plain Store for any scheme with an
+// incremental form, and internal/shard's ShardedStore for schemes with
+// sharded delta routing. ApplyDeltas must be atomic (all deltas and the
+// persisted artifact commit together, or nothing changes) and must never
+// let a concurrent query observe a partially applied Π.
+type DeltaDataset interface {
+	Dataset
+	// ApplyDeltas applies the deltas in order through the scheme's
+	// incremental form, persisting the maintained artifact under dir
+	// ("" = memory only), and returns the new maintenance version.
+	ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error)
 }
 
 // Registry maps dataset IDs to preprocessed datasets. Registering a dataset
@@ -58,9 +78,15 @@ type Registry struct {
 
 	mu      sync.Mutex
 	entries map[string]*regEntry
+	// incResolver maps a scheme name to its incremental form for
+	// ApplyDelta. It defaults to the built-in schemes catalog
+	// (schemes.IncrementalForScheme); SetIncrementalResolver lets callers
+	// registering custom core.Scheme values plug in their own.
+	incResolver func(string) *core.IncrementalScheme
 
 	preprocessCount atomic.Int64
 	loadCount       atomic.Int64
+	deltaCount      atomic.Int64
 }
 
 // regEntry is a future for one dataset: done closes once ds/err are set,
@@ -78,14 +104,42 @@ func NewRegistry(dir string) *Registry {
 	return &Registry{dir: dir, entries: map[string]*regEntry{}}
 }
 
+// SetIncrementalResolver overrides how ApplyDelta resolves a scheme's
+// incremental form by name (nil restores the built-in schemes catalog).
+// Callers serving custom schemes use it to make their datasets
+// maintainable; set it before serving traffic.
+func (r *Registry) SetIncrementalResolver(f func(string) *core.IncrementalScheme) {
+	r.mu.Lock()
+	r.incResolver = f
+	r.mu.Unlock()
+}
+
+// incrementalFor resolves a scheme's incremental form.
+func (r *Registry) incrementalFor(name string) *core.IncrementalScheme {
+	r.mu.Lock()
+	f := r.incResolver
+	r.mu.Unlock()
+	if f == nil {
+		f = schemes.IncrementalForScheme
+	}
+	return f(name)
+}
+
 // Dir reports the snapshot directory ("" when memory-only).
 func (r *Registry) Dir() string { return r.dir }
 
-// snapshotPath maps a dataset ID to its snapshot file. IDs are arbitrary
-// strings, so the filename is the ID path-escaped (keeps readable IDs
-// readable, makes hostile ones safe).
+// SnapshotPath maps a dataset ID to its snapshot file under dir. IDs are
+// arbitrary strings, so the filename is the ID path-escaped (keeps readable
+// IDs readable, makes hostile ones safe). It is exported so the delta
+// maintenance path (Store.ApplyDeltas) re-snapshots to exactly the file a
+// restarted registry will reload.
+func SnapshotPath(dir, id string) string {
+	return filepath.Join(dir, url.PathEscape(id)+".pitract")
+}
+
+// snapshotPath is SnapshotPath under the registry's own directory.
 func (r *Registry) snapshotPath(id string) string {
-	return filepath.Join(r.dir, url.PathEscape(id)+".pitract")
+	return SnapshotPath(r.dir, id)
 }
 
 // RegisterDataset returns the dataset registered under id, building it on
@@ -199,7 +253,12 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 		if snap, err := Load(r.snapshotPath(id)); err == nil &&
 			snap.SchemeName == scheme.Name() && snap.DataSum == sum {
 			r.loadCount.Add(1)
-			return &Store{ID: id, Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true}, nil
+			st := &Store{ID: id, Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true}
+			// A snapshot with Version > 0 is the maintained Π(D ⊕ ∆D…):
+			// resuming from it (not from a re-preprocess of D) is the whole
+			// point of persisting maintenance.
+			st.SetVersion(snap.Version)
+			return st, nil
 		}
 	}
 	pd, err := scheme.Preprocess(data)
@@ -215,6 +274,74 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 	}
 	return st, nil
 }
+
+// NotFoundError reports an ApplyDelta against an id with no completed
+// registration — the HTTP layer maps it to 404 where every other delta
+// failure is a 409.
+type NotFoundError struct{ ID string }
+
+// Error implements error.
+func (e *NotFoundError) Error() string { return fmt.Sprintf("store: dataset %q not registered", e.ID) }
+
+// PersistError reports that maintenance failed while writing the durable
+// artifact (snapshot or shard generation), not because of anything wrong
+// with the request — the deltas were applicable and nothing was committed.
+// The HTTP layer maps it to 500 where request-shaped failures are 409s, so
+// retry and alerting logic can tell a server-side fault apart from a
+// conflicting request.
+type PersistError struct{ Err error }
+
+// Error implements error.
+func (e *PersistError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying I/O error.
+func (e *PersistError) Unwrap() error { return e.Err }
+
+// ApplyDelta maintains the dataset registered under id in place:
+// Π ← Π(D ⊕ ∆D₁ ⊕ … ⊕ ∆Dₖ) through the scheme's incremental form (the
+// built-in schemes catalog by default; see SetIncrementalResolver),
+// applied under the dataset's maintenance lock.
+// The batch is atomic — every delta commits together with a bumped
+// monotonic version and an atomically rewritten snapshot (when the
+// registry is persistent), or nothing changes at all: a malformed delta, a
+// scheme without an incremental form, or a sharded dataset without delta
+// routing each leave the registry entry, the served Π, and the on-disk
+// snapshot exactly as they were. Returns the dataset's new maintenance
+// version.
+//
+// Concurrent queries are never blocked on maintenance I/O and never
+// observe a torn Π: answer paths snapshot the preprocessed string under a
+// read lock and the writer swaps it wholesale.
+func (r *Registry) ApplyDelta(id string, deltas [][]byte) (uint64, error) {
+	ds, ok := r.GetDataset(id)
+	if !ok {
+		return 0, &NotFoundError{ID: id}
+	}
+	if len(deltas) == 0 {
+		return ds.Version(), fmt.Errorf("store: dataset %q: empty delta batch", id)
+	}
+	inc := r.incrementalFor(ds.SchemeName())
+	if inc == nil {
+		return ds.Version(), fmt.Errorf("store: dataset %q: scheme %s has no incremental form (maintainable: %v)",
+			id, ds.SchemeName(), schemes.MaintainableSchemes())
+	}
+	dd, ok := ds.(DeltaDataset)
+	if !ok {
+		return ds.Version(), fmt.Errorf("store: dataset %q does not support in-place maintenance", id)
+	}
+	v, err := dd.ApplyDeltas(inc, deltas, r.dir)
+	if err != nil {
+		return v, fmt.Errorf("store: apply delta to %q: %w", id, err)
+	}
+	r.deltaCount.Add(int64(len(deltas)))
+	return v, nil
+}
+
+// DeltaCount reports how many deltas this registry has applied across all
+// datasets — the counter /v1/stats serves as deltas_applied, alongside
+// PreprocessCount and LoadCount. It counts every ApplyDelta caller, HTTP
+// or library-side.
+func (r *Registry) DeltaCount() int64 { return r.deltaCount.Load() }
 
 // Get returns the plain store registered under id, if any. Registrations
 // still in flight count as present: Get waits for them, so a Get racing a

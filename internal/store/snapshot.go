@@ -27,13 +27,19 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"pitract/internal/core"
 )
 
 // snapshotMagic opens every snapshot file. The trailing byte is the format
-// version; bump it when the payload layout changes.
-var snapshotMagic = []byte("PITRACTS\x01")
+// version; bump it when the payload layout changes. Version 2 added the
+// maintenance version counter (incremental serving); version-1 files are
+// still decoded, as version-0 datasets.
+var (
+	snapshotMagic   = []byte("PITRACTS\x02")
+	snapshotMagicV1 = []byte("PITRACTS\x01")
+)
 
 // DataChecksum is the SHA-256 digest of the raw (pre-preprocessing) data a
 // snapshot was built from. Open uses it to detect stale snapshots: when the
@@ -43,21 +49,27 @@ type DataChecksum = [sha256.Size]byte
 
 // Snapshot is one persisted preprocessed store: which scheme produced it,
 // human-readable notes (the scheme's complexity annotations by default), the
-// digest of the data it was preprocessed from, and Π(D) itself.
+// digest of the data it was preprocessed from, the maintenance version (how
+// many deltas have been applied to Π since registration — 0 for a store
+// that has only ever been preprocessed), and Π itself. A snapshot with
+// Version > 0 holds the maintained Π(D ⊕ ∆D₁ ⊕ … ⊕ ∆Dₖ), so a restart
+// resumes from the maintained structure, never a stale one.
 type Snapshot struct {
 	SchemeName string
 	Notes      string
 	DataSum    DataChecksum
+	Version    uint64
 	Prep       []byte
 }
 
 // EncodeSnapshot renders a snapshot in the versioned on-disk format:
 //
 //	magic ‖ version ‖ crc32(payload) ‖ payload
-//	payload = PadPair(PadPair(scheme, notes), PadPair(dataSum, prep))
+//	payload = PadPair(PadPair(scheme, notes), PadPair(dataSum ‖ uvarint(maintVersion), prep))
 func EncodeSnapshot(s *Snapshot) []byte {
 	header := core.PadPair([]byte(s.SchemeName), []byte(s.Notes))
-	body := core.PadPair(s.DataSum[:], s.Prep)
+	meta := binary.AppendUvarint(append([]byte(nil), s.DataSum[:]...), s.Version)
+	body := core.PadPair(meta, s.Prep)
 	payload := core.PadPair(header, body)
 	out := make([]byte, 0, len(snapshotMagic)+4+len(payload))
 	out = append(out, snapshotMagic...)
@@ -65,18 +77,24 @@ func EncodeSnapshot(s *Snapshot) []byte {
 	return append(out, payload...)
 }
 
-// DecodeSnapshot parses the versioned format. Any deviation — wrong magic,
-// wrong version, bad checksum, truncated or malformed payload — is an
-// error; DecodeSnapshot never panics on hostile input.
+// DecodeSnapshot parses the versioned format (current and the pre-delta v1
+// layout, which decodes as maintenance version 0). Any deviation — wrong
+// magic, unknown version, bad checksum, truncated or malformed payload — is
+// an error; DecodeSnapshot never panics on hostile input.
 func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if len(b) < len(snapshotMagic)+4 {
 		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(b))
 	}
-	for i, m := range snapshotMagic {
+	for i, m := range snapshotMagic[:len(snapshotMagic)-1] {
 		if b[i] != m {
-			return nil, fmt.Errorf("store: bad snapshot magic/version (offset %d)", i)
+			return nil, fmt.Errorf("store: bad snapshot magic (offset %d)", i)
 		}
 	}
+	verByte := b[len(snapshotMagic)-1]
+	if verByte != snapshotMagic[len(snapshotMagic)-1] && verByte != snapshotMagicV1[len(snapshotMagicV1)-1] {
+		return nil, fmt.Errorf("store: unknown snapshot format version %d", verByte)
+	}
+	v1 := verByte == snapshotMagicV1[len(snapshotMagicV1)-1]
 	want := binary.BigEndian.Uint32(b[len(snapshotMagic):])
 	payload := b[len(snapshotMagic)+4:]
 	if got := crc32.ChecksumIEEE(payload); got != want {
@@ -90,7 +108,7 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: corrupt snapshot header: %w", err)
 	}
-	sum, prep, err := core.UnpadPair(body)
+	meta, prep, err := core.UnpadPair(body)
 	if err != nil {
 		return nil, fmt.Errorf("store: corrupt snapshot body: %w", err)
 	}
@@ -99,10 +117,22 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 		Notes:      string(notes),
 		Prep:       append([]byte(nil), prep...),
 	}
-	if len(sum) != len(s.DataSum) {
-		return nil, fmt.Errorf("store: data checksum is %d bytes, want %d", len(sum), len(s.DataSum))
+	if len(meta) < len(s.DataSum) {
+		return nil, fmt.Errorf("store: data checksum is %d bytes, want %d", len(meta), len(s.DataSum))
 	}
-	copy(s.DataSum[:], sum)
+	copy(s.DataSum[:], meta)
+	rest := meta[len(s.DataSum):]
+	if v1 {
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("store: %d trailing snapshot metadata bytes", len(rest))
+		}
+		return s, nil
+	}
+	ver, k := binary.Uvarint(rest)
+	if k <= 0 || k != len(rest) {
+		return nil, fmt.Errorf("store: corrupt snapshot maintenance version")
+	}
+	s.Version = ver
 	return s, nil
 }
 
@@ -160,8 +190,12 @@ func Load(path string) (*Snapshot, error) {
 func SumData(data []byte) DataChecksum { return sha256.Sum256(data) }
 
 // Store is one preprocessed store ready to answer queries: a scheme plus
-// its immutable Π(D). Any number of goroutines may call Answer or
-// AnswerBatch concurrently (the scheme concurrency contract, core/batch.go).
+// its Π(D). Any number of goroutines may call Answer or AnswerBatch
+// concurrently (the scheme concurrency contract, core/batch.go), and —
+// when the scheme has an incremental form — ApplyDeltas maintains Π(D ⊕ ∆D)
+// in place under a writer lock: the preprocessed string is replaced
+// wholesale, so a concurrent query always answers against a fully applied
+// Π (old or new), never a torn one.
 type Store struct {
 	// ID is the dataset identifier the store was registered under ("" for
 	// stores opened directly from a path).
@@ -169,13 +203,115 @@ type Store struct {
 	// Scheme is the Π-tractability scheme that produced — and answers
 	// against — the preprocessed bytes.
 	Scheme *core.Scheme
-	// Prep is Π(D), immutable after construction.
+	// Prep is Π(D) at construction. Once the store is shared it is guarded
+	// by the writer lock: read it through View (or Answer/Snapshot), never
+	// directly.
 	Prep []byte
-	// DataSum digests the raw data Prep was preprocessed from.
+	// DataSum digests the raw data the store was originally registered
+	// from. Deltas do not change it — the digest pins the registration
+	// identity, while Version counts the maintenance steps applied since.
 	DataSum DataChecksum
 	// Loaded reports whether Prep came from a snapshot file (true) or a
 	// fresh Preprocess call (false).
 	Loaded bool
+
+	// mu guards Prep and version: ApplyDeltas swaps them under the write
+	// lock, answer paths snapshot them under the read lock. The write lock
+	// is held only for the pointer swap — never across delta application
+	// or snapshot I/O — so queries are never blocked on maintenance work.
+	mu sync.RWMutex
+	// maintMu serializes maintainers (ApplyDeltas/Replace callers), so the
+	// staged state and the snapshot on disk can be built outside mu
+	// without a later writer overwriting a newer version with a stale one.
+	maintMu sync.Mutex
+	// version counts the deltas applied since registration; it only ever
+	// grows, and every applied delta bumps it by one.
+	version uint64
+}
+
+// SetVersion stamps the maintenance version on a freshly constructed store
+// (snapshot reloads restore the persisted counter). It must not be called
+// once the store is shared; ApplyDeltas is the concurrent-safe mutation.
+func (st *Store) SetVersion(v uint64) { st.version = v }
+
+// View returns the current preprocessed string and the maintenance version
+// it corresponds to, as one consistent pair. The returned slice is the
+// immutable current Π — ApplyDeltas replaces the slice rather than mutating
+// it, so callers may read it without holding any lock.
+func (st *Store) View() ([]byte, uint64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.Prep, st.version
+}
+
+// Replace swaps the preprocessed string and maintenance version under the
+// writer lock — the commit step of composite (sharded) maintenance, which
+// stages per-shard strings outside the store and swaps them in wholesale
+// once every shard's maintenance has succeeded.
+func (st *Store) Replace(prep []byte, version uint64) {
+	st.mu.Lock()
+	st.Prep, st.version = prep, version
+	st.mu.Unlock()
+}
+
+// Version implements Dataset: the number of deltas applied since
+// registration.
+func (st *Store) Version() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.version
+}
+
+// ApplyDeltas implements DeltaDataset: it maintains the store under a
+// batch of deltas using the scheme's incremental form,
+// Π ← ApplyDelta(…ApplyDelta(Π, ∆D₁)…, ∆Dₖ), applied atomically — either
+// every delta commits and the version grows by k, or none do and the store
+// (and its snapshot) are untouched. With dir non-empty the maintained
+// snapshot is written (atomically) before the in-memory commit, so the
+// durable artifact is never behind a state a query has already observed,
+// and a restart resumes from the maintained Π; a persist failure aborts
+// the whole batch.
+//
+// Delta application and snapshot I/O run under the maintenance mutex only
+// — the reader-blocking write lock is taken just for the final pointer
+// swap, so concurrent queries never wait on maintenance work.
+//
+// Registry.ApplyDelta is the catalog-level entry point; it resolves inc by
+// scheme name and supplies its snapshot directory.
+func (st *Store) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
+	if inc == nil || inc.ApplyDelta == nil {
+		return st.Version(), fmt.Errorf("store: scheme %s has no incremental form", st.Scheme.Name())
+	}
+	if dir != "" && st.ID == "" {
+		return st.Version(), fmt.Errorf("store: cannot persist deltas for a store with no dataset ID")
+	}
+	if len(deltas) == 0 {
+		return st.Version(), nil // no-op, no snapshot rewrite
+	}
+	st.maintMu.Lock()
+	defer st.maintMu.Unlock()
+	// maintMu is the only writer seam, so the view cannot move under us.
+	cur, oldVersion := st.View()
+	for i, delta := range deltas {
+		next, err := inc.ApplyDelta(cur, delta)
+		if err != nil {
+			return oldVersion, fmt.Errorf("store: delta %d: %w (nothing applied)", i, err)
+		}
+		cur = next
+	}
+	newVersion := oldVersion + uint64(len(deltas))
+	if dir != "" {
+		snap := st.snapshotSkeleton()
+		snap.Prep, snap.Version = cur, newVersion
+		if err := Save(SnapshotPath(dir, st.ID), snap); err != nil {
+			return oldVersion, &PersistError{Err: fmt.Errorf("store: persist maintained snapshot: %w (nothing applied)", err)}
+		}
+	}
+	st.mu.Lock()
+	st.Prep = cur
+	st.version = newVersion
+	st.mu.Unlock()
+	return newVersion, nil
 }
 
 // DatasetID implements Dataset.
@@ -187,8 +323,11 @@ func (st *Store) SchemeName() string { return st.Scheme.Name() }
 // DataDigest implements Dataset.
 func (st *Store) DataDigest() DataChecksum { return st.DataSum }
 
-// PrepBytes implements Dataset: the size of Π(D).
-func (st *Store) PrepBytes() int { return len(st.Prep) }
+// PrepBytes implements Dataset: the size of the current Π.
+func (st *Store) PrepBytes() int {
+	pd, _ := st.View()
+	return len(pd)
+}
 
 // ShardCount implements Dataset: a plain store is its own single shard.
 func (st *Store) ShardCount() int { return 1 }
@@ -198,22 +337,32 @@ func (st *Store) WasLoaded() bool { return st.Loaded }
 
 // Answer decides one query against the preprocessed store.
 func (st *Store) Answer(q []byte) (bool, error) {
-	return st.Scheme.Answer(st.Prep, q)
+	pd, _ := st.View()
+	return st.Scheme.Answer(pd, q)
 }
 
 // AnswerBatch answers queries concurrently through the scheme's worker
-// pool; parallelism <= 0 selects GOMAXPROCS.
+// pool; parallelism <= 0 selects GOMAXPROCS. The whole batch answers
+// against one consistent Π, even if a delta commits mid-batch.
 func (st *Store) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
-	return st.Scheme.AnswerBatch(st.Prep, queries, parallelism)
+	pd, _ := st.View()
+	return st.Scheme.AnswerBatch(pd, queries, parallelism)
 }
 
 // Snapshot renders the store as a persistable snapshot.
 func (st *Store) Snapshot() *Snapshot {
+	s := st.snapshotSkeleton()
+	s.Prep, s.Version = st.View()
+	return s
+}
+
+// snapshotSkeleton builds the snapshot skeleton (everything but Prep and
+// Version), which needs no locking — the remaining fields are immutable.
+func (st *Store) snapshotSkeleton() *Snapshot {
 	return &Snapshot{
 		SchemeName: st.Scheme.Name(),
 		Notes:      st.Scheme.PreprocessNote + " / " + st.Scheme.AnswerNote,
 		DataSum:    st.DataSum,
-		Prep:       st.Prep,
 	}
 }
 
@@ -226,7 +375,7 @@ func Open(path string, scheme *core.Scheme, data []byte) (*Store, error) {
 	sum := SumData(data)
 	if snap, err := Load(path); err == nil &&
 		snap.SchemeName == scheme.Name() && snap.DataSum == sum {
-		return &Store{Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true}, nil
+		return &Store{Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true, version: snap.Version}, nil
 	}
 	pd, err := scheme.Preprocess(data)
 	if err != nil {

@@ -45,6 +45,19 @@
 // measures preprocess time, snapshot bytes, and served QPS per shard
 // count.
 //
+// Registered datasets are live-updatable (§1 justification (3)): for
+// schemes with an incremental form (IncrementalForScheme),
+// StoreRegistry.ApplyDelta — and HTTP PATCH /v1/datasets/{id} — maintains
+// Π(D ⊕ ∆D) in place instead of re-preprocessing, bumps a monotonic
+// dataset version reported in every query and info response, and
+// atomically re-snapshots so restarts resume from the maintained Π.
+// Sharded datasets route each delta to the shards it lands on (key batches
+// split by partitioner; reachability edge inserts update the owning
+// shard's closure and rebuild the portal overlay). A maintained-vs-rebuilt
+// differential suite pins ApplyDelta equivalent to preprocessing the
+// updated data from scratch, and experiment X5 measures maintain vs
+// re-register time.
+//
 // See README.md for a tour, docs/ARCHITECTURE.md for the layer map,
 // docs/API.md for the HTTP reference, and EXPERIMENTS.md for
 // paper-vs-measured results.
@@ -250,6 +263,10 @@ type (
 	// ShardedStore, served identically (see StoreRegistry.GetDataset and
 	// the HTTP server's query paths).
 	Dataset = store.Dataset
+	// DeltaDataset is the registry's mutation seam: datasets that maintain
+	// Π(D ⊕ ∆D) in place under StoreRegistry.ApplyDelta (and the server's
+	// PATCH /v1/datasets/{id}).
+	DeltaDataset = store.DeltaDataset
 	// ShardedStore serves one dataset from n partitioned preprocessed
 	// stores behind a single catalog entry, routing each query to its
 	// owning shard or fanning out and merging verdicts.
@@ -301,6 +318,9 @@ var (
 	ShardingForScheme = shard.ForScheme
 	// ShardableSchemes lists the scheme names with sharded forms.
 	ShardableSchemes = shard.ShardableSchemes
+	// DeltaCapableSchemes lists the scheme names whose sharded form also
+	// routes deltas (PATCH on a sharded dataset).
+	DeltaCapableSchemes = shard.DeltaCapableSchemes
 	// PartitionerByName resolves "hash"/"range" (the HTTP API's
 	// ?partitioner values and the CLI's -partitioner flag).
 	PartitionerByName = shard.PartitionerByName
@@ -427,9 +447,24 @@ var (
 	// IncrementalPointSelection maintains the sorted-key file under
 	// insertions (§1 incremental preprocessing).
 	IncrementalPointSelection = schemes.IncrementalPointSelection
+	// IncrementalRangeSelection maintains the range scheme's sorted-key
+	// file with the same merge.
+	IncrementalRangeSelection = schemes.IncrementalRangeSelection
+	// IncrementalListMembership maintains the §4(2) sorted list under
+	// element insertions.
+	IncrementalListMembership = schemes.IncrementalListMembership
 	// IncrementalReachability maintains the closure matrix under edge
 	// insertions.
 	IncrementalReachability = schemes.IncrementalReachability
+	// IncrementalReachabilityBFS maintains the BFS baseline (Π = D, so
+	// maintenance is appending the edge).
+	IncrementalReachabilityBFS = schemes.IncrementalReachabilityBFS
+	// IncrementalForScheme resolves a scheme's incremental form by name —
+	// the catalog StoreRegistry.ApplyDelta and the HTTP PATCH path route
+	// through; nil for schemes with nothing maintainable.
+	IncrementalForScheme = schemes.IncrementalForScheme
+	// MaintainableSchemes lists the scheme names with incremental forms.
+	MaintainableSchemes = schemes.MaintainableSchemes
 	// KeysDelta encodes an insertion batch for IncrementalPointSelection.
 	KeysDelta = schemes.KeysDelta
 	// EdgeDelta encodes an edge insertion for IncrementalReachability.
