@@ -63,6 +63,25 @@ func BenchmarkX3_Serving(b *testing.B)            { benchExperiment(b, "X3") }
 func BenchmarkX4_Sharding(b *testing.B)           { benchExperiment(b, "X4") }
 func BenchmarkX5_IncrementalServing(b *testing.B) { benchExperiment(b, "X5") }
 
+// BenchmarkX6 regenerates the hot-path cache experiment and reports its
+// headline numbers — the repeated-query (bfs, hot-mix) cached-vs-uncached
+// speedup and the cache hit ratio — as benchmark metrics, so BENCH_ci.json
+// tracks the cache's measured payoff from this PR on.
+func BenchmarkX6(b *testing.B) {
+	var speedup, hitRatio float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		speedup, hitRatio, err = harness.X6CachedSpeedup(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(speedup, "cached-speedup-x")
+	b.ReportMetric(hitRatio, "hit-ratio")
+}
+
+func BenchmarkX6_HotPathCache(b *testing.B) { benchExperiment(b, "X6") }
+
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same
 // query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the
@@ -81,6 +100,60 @@ func BenchmarkOpShardedReachAnswer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ss.Answer(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpPreparedReachAnswer measures one reachability answer through
+// the prepared (decoded-once) store path — the hot-path sibling of
+// BenchmarkOpReachabilityAnswer's raw Scheme.Answer, so the payoff of
+// hoisting the per-query header parse and validation is visible in
+// BENCH_ci.json.
+func BenchmarkOpPreparedReachAnswer(b *testing.B) {
+	g := RandomDirected(1<<11, 4<<11, 5)
+	reg := NewStoreRegistry("")
+	st, err := reg.Register("bench-prepared", ReachabilityScheme(), g.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(6))
+	for i := range queries {
+		queries[i] = NodePairQuery(rng.Intn(1<<11), rng.Intn(1<<11))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Answer(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpCachedAnswer measures one answer through the verdict cache in
+// steady state (every key resident): a BFS-per-query store whose uncached
+// answers cost O(|V|+|E|), served as LRU hits.
+func BenchmarkOpCachedAnswer(b *testing.B) {
+	g := RandomDirected(1<<10, 4<<10, 17)
+	reg := NewStoreRegistry("")
+	st, err := reg.Register("bench-cached", ReachabilityBFSScheme(), g.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd := NewCachedDataset(st, NewAnswerCache(1<<22))
+	queries := make([][]byte, 256)
+	rng := rand.New(rand.NewSource(18))
+	for i := range queries {
+		queries[i] = NodePairQuery(rng.Intn(1<<10), rng.Intn(1<<10))
+	}
+	for _, q := range queries { // warm the cache: the loop measures hits
+		if _, err := cd.Answer(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cd.Answer(queries[i%len(queries)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -143,17 +143,22 @@ func cmdRun(args []string, full bool, parallel int) int {
 func cmdServe(args []string) int {
 	fs := flag.NewFlagSet("pitract serve", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]")
+		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range] [-cache-bytes N]")
 	}
 	addr := fs.String("addr", ":8080", "listen address")
 	data := fs.String("data", "", "snapshot directory for preprocessed stores (empty = in-memory only)")
 	shards := fs.Int("shards", 0, "default shard count for registered datasets (0 or 1 = unsharded; per-request ?shards=N overrides)")
 	partitioner := fs.String("partitioner", "hash", "default partitioner for sharded datasets: hash or range")
+	cacheBytes := fs.Int64("cache-bytes", 0, "answer-cache budget in bytes: memoize hot (dataset, version, query) verdicts (0 = no cache)")
 	if code := parseArgs(fs, args); code >= 0 {
 		return code
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "pitract serve: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *cacheBytes < 0 {
+		fmt.Fprintf(os.Stderr, "pitract serve: -cache-bytes %d: want a non-negative byte budget\n", *cacheBytes)
 		return 2
 	}
 
@@ -162,6 +167,9 @@ func cmdServe(args []string) int {
 	if err := srv.SetDefaultSharding(*shards, *partitioner); err != nil {
 		fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)
 		return 2
+	}
+	if *cacheBytes > 0 {
+		srv.SetAnswerCache(pitract.NewAnswerCache(*cacheBytes))
 	}
 	// Bind before announcing, so the "listening" line means the port is
 	// live (and reports the real port when -addr ends in :0).
@@ -176,6 +184,9 @@ func cmdServe(args []string) int {
 	}
 	if *shards > 1 {
 		persistence += fmt.Sprintf(", datasets %s-partitioned across %d shards by default", *partitioner, *shards)
+	}
+	if *cacheBytes > 0 {
+		persistence += fmt.Sprintf(", answer cache %d bytes", *cacheBytes)
 	}
 	schemes := make([]string, 0)
 	for name := range pitract.ServeCatalog() {
@@ -246,7 +257,7 @@ usage:
   pitract list                              list experiments
   pitract run [-full] [-parallel N] <id>... run experiments (or 'run all')
   pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]
-                                            serve preprocessed stores over HTTP
+                [-cache-bytes N]            serve preprocessed stores over HTTP
 
 running in parallel:
   X1 races the goroutine-parallel PRAM executor against the sequential
@@ -263,7 +274,10 @@ serving:
   (or per-request ?shards=N), a dataset is partitioned across N
   preprocessed stores and queries are routed to the owning shard or fanned
   out and merged. PATCH /v1/datasets/{id} maintains registered datasets in
-  place under deltas (Π(D ⊕ ∆D), versioned, re-snapshotted atomically);
-  see docs/ARCHITECTURE.md and docs/API.md.
+  place under deltas (Π(D ⊕ ∆D), versioned, re-snapshotted atomically).
+  With -cache-bytes N, hot (dataset, version, query) verdicts are served
+  from a sharded in-memory LRU with singleflight coalescing — version-keyed,
+  so a PATCH invalidates stale entries for free; hit/miss/coalesced counters
+  appear in /v1/stats. See docs/ARCHITECTURE.md and docs/API.md.
 `)
 }

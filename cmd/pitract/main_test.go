@@ -18,6 +18,7 @@ func TestExitCodes(t *testing.T) {
 		{"unknown-serve-flag", []string{"serve", "-bogus"}, 2},
 		{"serve-bad-partitioner", []string{"serve", "-shards", "2", "-partitioner", "zodiac"}, 2},
 		{"serve-shards-over-cap", []string{"serve", "-shards", "100000"}, 2},
+		{"serve-negative-cache", []string{"serve", "-cache-bytes", "-1"}, 2},
 		{"list-extra-args", []string{"list", "stray"}, 2},
 		{"serve-extra-args", []string{"serve", "stray"}, 2},
 		{"run-no-ids", []string{"run"}, 2},

@@ -133,6 +133,17 @@ var apiExamples = []apiExample{
 		wantBody:   `{"answer":true,"version":1}`,
 	},
 	{
+		// The identical query again: with the answer cache enabled this is
+		// served as a ⟨dataset, version, query⟩ hit — same bytes on the
+		// wire, and the /v1/stats check below sees exactly one cache hit.
+		name:       "query-repeat-cached",
+		method:     http.MethodPost,
+		path:       "/v1/query",
+		reqBody:    `{"dataset":"m","query":"iYCAgICAgICAAQ=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"answer":true,"version":1}`,
+	},
+	{
 		name:       "get-dataset",
 		method:     http.MethodGet,
 		path:       "/v1/datasets/m",
@@ -178,6 +189,9 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	doc := string(docBytes)
 
 	srv := pitract.NewServer(pitract.NewStoreRegistry(""), nil)
+	// The cache is on, as in the documented serve invocation
+	// (-cache-bytes), so the stats check covers the cache counters.
+	srv.SetAnswerCache(pitract.NewAnswerCache(1 << 20))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := ts.Client()
@@ -232,19 +246,40 @@ func TestAPIDocMatchesServer(t *testing.T) {
 			Errors    int64 `json:"errors"`
 			LatencyNs int64 `json:"latency_ns"`
 		} `json:"per_scheme"`
+		Cache *struct {
+			Hits        int64 `json:"hits"`
+			Misses      int64 `json:"misses"`
+			Coalesced   int64 `json:"coalesced"`
+			Evictions   int64 `json:"evictions"`
+			Entries     int64 `json:"entries"`
+			Bytes       int64 `json:"bytes"`
+			BudgetBytes int64 `json:"budget_bytes"`
+		} `json:"cache"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatalf("stats response does not match the documented shape: %v", err)
 	}
-	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 5 {
+	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 6 {
 		t.Fatalf("stats counters diverge from the documented example: %+v", stats)
 	}
 	if stats.DeltasApplied != 1 || stats.MaintenanceNs <= 0 {
 		t.Fatalf("maintenance counters diverge from the documented example: %+v", stats)
 	}
 	ss, ok := stats.PerScheme["list-membership/sorted"]
-	if !ok || ss.Queries != 5 || ss.Errors != 0 {
+	if !ok || ss.Queries != 6 || ss.Errors != 0 {
 		t.Fatalf("per-scheme stats diverge from the documented example: %+v", stats.PerScheme)
+	}
+	// The cache counters: 5 distinct ⟨dataset, version, query⟩ keys missed
+	// and were filled (q2@v0, q9@v0, q9@v1, and the two batch queries on
+	// m2@v0); the repeated query-after-patch body hit.
+	if stats.Cache == nil {
+		t.Fatalf("stats response carries no cache block with the cache enabled")
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 5 || stats.Cache.Entries != 5 {
+		t.Fatalf("cache counters diverge from the documented example: %+v", *stats.Cache)
+	}
+	if stats.Cache.BudgetBytes != 1<<20 || stats.Cache.Bytes <= 0 {
+		t.Fatalf("cache residency diverges from the documented example: %+v", *stats.Cache)
 	}
 
 	// Every endpoint the server registers must be documented.

@@ -1,0 +1,255 @@
+// Package cache memoizes hot query verdicts in front of the answering
+// path. The paper's contract makes every answer a pure function of
+// ⟨Π(D), Q⟩, and incremental serving (PR 4) gave every dataset a monotonic
+// maintenance version that changes exactly when Π changes — so the triple
+// ⟨datasetID, version, query⟩ is a complete cache key: a hit can never
+// serve a verdict computed against anything but the keyed version, and
+// maintenance invalidates for free, because a committed delta bumps the
+// version and all traffic moves to new keys while the stale entries age
+// out of the LRU.
+//
+// The cache is sharded by key hash: each shard has its own lock, LRU list,
+// and slice of the byte budget, so concurrent lookups from many serving
+// goroutines do not serialize on one mutex. Cold keys coalesce: when many
+// goroutines miss on the same key at once (the thundering-herd shape of a
+// hot query arriving over many connections), exactly one runs the
+// underlying answer and the rest wait for its verdict — the singleflight
+// pattern — counted separately from hits and misses so operators can see
+// herd suppression working.
+//
+// Errors are never cached: a failing answer propagates to the caller (and
+// any coalesced waiters) and leaves no entry, so a transient failure
+// cannot poison a key.
+package cache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the number of independently locked cache shards (a power
+// of two so shard selection is a mask). 16 comfortably exceeds the core
+// counts this repository serves from while keeping per-shard LRUs long.
+const shardCount = 16
+
+// entryOverhead approximates the bookkeeping bytes an entry costs beyond
+// its key: the list element, the interface header, the map bucket share.
+// The budget accounting uses key length + overhead, so a budget of B bytes
+// really bounds resident memory near B.
+const entryOverhead = 96
+
+// Cache is a sharded, byte-budgeted LRU of query verdicts with
+// singleflight coalescing. The zero value is not usable; construct with
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	budgetPerShard int64
+	shards         [shardCount]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheShard is one lock's worth of the cache.
+type cacheShard struct {
+	mu      sync.Mutex
+	ll      *list.List               // front = most recent
+	table   map[string]*list.Element // key -> element holding *entry
+	flights map[string]*flight       // keys with an answer in flight
+	bytes   int64
+}
+
+// entry is one cached verdict.
+type entry struct {
+	key     string
+	verdict bool
+}
+
+// flight is one in-progress answer other callers can wait on.
+type flight struct {
+	done    chan struct{}
+	verdict bool
+	err     error
+}
+
+// New returns a cache bounded by budgetBytes of (approximate) resident
+// memory. Budgets smaller than one entry per shard still work — oversized
+// entries are simply not cached.
+func New(budgetBytes int64) *Cache {
+	c := &Cache{budgetPerShard: budgetBytes / shardCount}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].table = map[string]*list.Element{}
+		c.shards[i].flights = map[string]*flight{}
+	}
+	return c
+}
+
+// Key renders the complete cache identity of one answer: the dataset, the
+// maintenance version of Π the answer was admitted against, and the query
+// bytes, each length-delimited so distinct triples never collide.
+func Key(dataset string, version uint64, q []byte) string {
+	b := make([]byte, 0, binary.MaxVarintLen64*2+8+len(dataset)+len(q))
+	b = binary.AppendUvarint(b, uint64(len(dataset)))
+	b = append(b, dataset...)
+	b = binary.BigEndian.AppendUint64(b, version)
+	b = append(b, q...)
+	return string(b)
+}
+
+// shardFor hashes a key (FNV-1a) onto its shard.
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h&(shardCount-1)]
+}
+
+// Lookup returns the cached verdict for ⟨dataset, version, q⟩, if present,
+// bumping its recency.
+func (c *Cache) Lookup(dataset string, version uint64, q []byte) (verdict, ok bool) {
+	key := Key(dataset, version, q)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.table[key]
+	if ok {
+		sh.ll.MoveToFront(el)
+		verdict = el.Value.(*entry).verdict
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return verdict, ok
+}
+
+// Put inserts a verdict for ⟨dataset, version, q⟩, evicting
+// least-recently-used entries if the shard's budget overflows. Entries
+// larger than a whole shard budget are not cached.
+func (c *Cache) Put(dataset string, version uint64, q []byte, verdict bool) {
+	key := Key(dataset, version, q)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	sh.put(c, key, verdict)
+	sh.mu.Unlock()
+}
+
+// put inserts under the shard lock (held by the caller).
+func (sh *cacheShard) put(c *Cache, key string, verdict bool) {
+	cost := int64(len(key)) + entryOverhead
+	if cost > c.budgetPerShard {
+		return
+	}
+	if el, ok := sh.table[key]; ok {
+		el.Value.(*entry).verdict = verdict
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.table[key] = sh.ll.PushFront(&entry{key: key, verdict: verdict})
+	sh.bytes += cost
+	for sh.bytes > c.budgetPerShard {
+		tail := sh.ll.Back()
+		if tail == nil {
+			break
+		}
+		ev := tail.Value.(*entry)
+		sh.ll.Remove(tail)
+		delete(sh.table, ev.key)
+		sh.bytes -= int64(len(ev.key)) + entryOverhead
+		c.evictions.Add(1)
+	}
+}
+
+// Do returns the verdict for ⟨dataset, version, q⟩: from the cache on a
+// hit, otherwise by running answer exactly once per key no matter how many
+// goroutines arrive at the cold key together — late arrivals block on the
+// first caller's flight and share its verdict (or its error, which is
+// never cached). This is the serving layers' entry point.
+func (c *Cache) Do(dataset string, version uint64, q []byte, answer func() (bool, error)) (bool, error) {
+	key := Key(dataset, version, q)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.table[key]; ok {
+		sh.ll.MoveToFront(el)
+		v := el.Value.(*entry).verdict
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if f, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		return f.verdict, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	// The flight must be removed and closed even if answer panics (a
+	// custom Answerer on hostile input can): otherwise the key is poisoned
+	// — coalesced waiters and every future Do for it would block forever.
+	// The panic itself propagates to this caller; waiters see the
+	// zero-value verdict with errFlightPanicked.
+	f.err = errFlightPanicked
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		if f.err == nil {
+			sh.put(c, key, f.verdict)
+		}
+		sh.mu.Unlock()
+		close(f.done)
+	}()
+	f.verdict, f.err = answer()
+	return f.verdict, f.err
+}
+
+// errFlightPanicked is what coalesced waiters receive when the flight
+// they waited on panicked instead of returning — never cached, like any
+// other error.
+var errFlightPanicked = errors.New("cache: coalesced answer panicked")
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a cached entry; Misses counts
+	// lookups that ran (or, via Put, preceded) the underlying answer;
+	// Coalesced counts lookups that waited on another caller's in-flight
+	// answer instead of running their own.
+	Hits, Misses, Coalesced int64
+	// Evictions counts entries dropped by the byte budget; stale-version
+	// entries leave this way too (nothing looks them up again, so they
+	// drift to the LRU tail).
+	Evictions int64
+	// Entries and Bytes describe current residency; BudgetBytes is the
+	// configured capacity.
+	Entries, Bytes, BudgetBytes int64
+}
+
+// Stats reports the cache counters and current residency.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+		BudgetBytes: c.budgetPerShard * shardCount,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += int64(sh.ll.Len())
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}

@@ -42,6 +42,22 @@ import (
 // workers drain quickly and the partial results are discarded. On success
 // results[i] is Answer(pd, queries[i]) for every i.
 func (s *Scheme) AnswerBatch(pd []byte, queries [][]byte, parallelism int) ([]bool, error) {
+	return answerPool(s.SchemeName, func(q []byte) (bool, error) {
+		return s.Answer(pd, q)
+	}, queries, parallelism)
+}
+
+// AnswerBatchPrepared is AnswerBatch over a prepared Answerer: the same
+// worker pool, error policy, and query ordering, but every probe rides the
+// decoded in-memory form instead of re-reading pd. label names the scheme in
+// error messages, keeping them identical to the raw batch path's.
+func AnswerBatchPrepared(label string, a Answerer, queries [][]byte, parallelism int) ([]bool, error) {
+	return answerPool(label, a.Answer, queries, parallelism)
+}
+
+// answerPool is the shared worker-pool core of AnswerBatch and
+// AnswerBatchPrepared.
+func answerPool(label string, answer func(q []byte) (bool, error), queries [][]byte, parallelism int) ([]bool, error) {
 	results := make([]bool, len(queries))
 	if len(queries) == 0 {
 		return results, nil
@@ -54,9 +70,9 @@ func (s *Scheme) AnswerBatch(pd []byte, queries [][]byte, parallelism int) ([]bo
 	}
 	if parallelism == 1 {
 		for i, q := range queries {
-			got, err := s.Answer(pd, q)
+			got, err := answer(q)
 			if err != nil {
-				return nil, fmt.Errorf("scheme %s: batch query %d: %w", s.SchemeName, i, err)
+				return nil, fmt.Errorf("scheme %s: batch query %d: %w", label, i, err)
 			}
 			results[i] = got
 		}
@@ -78,7 +94,7 @@ func (s *Scheme) AnswerBatch(pd []byte, queries [][]byte, parallelism int) ([]bo
 				if i >= len(queries) {
 					return
 				}
-				got, err := s.Answer(pd, queries[i])
+				got, err := answer(queries[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -91,7 +107,7 @@ func (s *Scheme) AnswerBatch(pd []byte, queries [][]byte, parallelism int) ([]bo
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("scheme %s: batch query %d: %w", s.SchemeName, i, err)
+			return nil, fmt.Errorf("scheme %s: batch query %d: %w", label, i, err)
 		}
 	}
 	return results, nil

@@ -22,6 +22,13 @@ type Scheme struct {
 	// Answer decides ⟨Π(D), Q⟩ ∈ S′; it must meet the NC budget. It must
 	// treat pd and q as read-only and be safe for concurrent use.
 	Answer func(pd, q []byte) (bool, error)
+	// PrepareAnswerer, when non-nil, decodes one preprocessed string into a
+	// typed Answerer whose Answer(q) probes without re-validating or
+	// re-decoding pd — the hot-path form the serving layers answer through
+	// (see prepared.go and the Prepare method). It must produce verdicts and
+	// error strings identical to Answer on the same pd; the schemes package
+	// pins that differentially. Nil means the raw Answer is used directly.
+	PrepareAnswerer func(pd []byte) (Answerer, error)
 	// PreprocessNote and AnswerNote document the claimed complexities,
 	// e.g. "O(|D| log |D|)" and "O(log |D|)".
 	PreprocessNote string

@@ -1,0 +1,162 @@
+package schemes
+
+// Differential pinning of the prepared answerers against the raw Answer
+// oracle: for every scheme with a typed prepared form, the prepared probe
+// must return the identical verdict — and on bad queries the identical
+// error string — as Answer(pd, q) on the same preprocessed string.
+
+import (
+	"testing"
+
+	"pitract/internal/circuit"
+	"pitract/internal/core"
+	"pitract/internal/graph"
+	"pitract/internal/relation"
+)
+
+// preparedCase is one scheme plus a workload: a data part and a query mix
+// that exercises hits, misses, bounds violations, and malformed queries.
+type preparedCase struct {
+	scheme  *core.Scheme
+	data    []byte
+	queries [][]byte
+}
+
+func preparedCases(t *testing.T) map[string]preparedCase {
+	t.Helper()
+	rel := relation.Generate(relation.GenConfig{Rows: 300, Seed: 7, KeyMax: 500})
+	list := EncodeList([]int64{-9, 0, 3, 3, 14, 99, 1 << 40})
+	dg := graph.RandomDirected(48, 130, 11)
+	ug := graph.RandomConnectedUndirected(40, 90, 3)
+	inst := circuit.Generate(circuit.GenConfig{Inputs: 8, Gates: 64, Seed: 5})
+	cvp := circuit.EncodeInstance(&circuit.Instance{Circuit: inst, Inputs: circuit.RandomInputs(8, 6)})
+
+	selQueries := [][]byte{}
+	for k := int64(-3); k < 40; k += 7 {
+		selQueries = append(selQueries, PointQuery(k))
+	}
+	selQueries = append(selQueries, []byte{1, 2}, nil) // malformed
+
+	rangeQueries := [][]byte{
+		RangeQuery(0, 10), RangeQuery(10, 0), RangeQuery(-50, 600),
+		RangeQuery(77, 77), []byte{9}, nil,
+	}
+
+	pairQueries := func(n int) [][]byte {
+		qs := [][]byte{}
+		for u := 0; u < n; u += 5 {
+			for v := 1; v < n; v += 7 {
+				qs = append(qs, NodePairQuery(u, v))
+			}
+		}
+		// Out-of-range pairs and malformed queries.
+		return append(qs, NodePairQuery(n, 0), NodePairQuery(0, n+3), []byte{1}, nil)
+	}
+
+	gateQueries := [][]byte{GateQuery(0), GateQuery(5), GateQuery(63), GateQuery(64), GateQuery(1 << 20), []byte{7}, nil}
+
+	return map[string]preparedCase{
+		"point-sorted": {PointSelectionScheme(), rel.Encode(), selQueries},
+		"point-scan":   {PointSelectionScanScheme(), rel.Encode(), selQueries},
+		"range":        {RangeSelectionScheme(), rel.Encode(), rangeQueries},
+		"list":         {ListMembershipScheme(), list, selQueries},
+		"closure-dir":  {ReachabilityScheme(), dg.Encode(), pairQueries(48)},
+		"closure-und":  {ReachabilityScheme(), ug.Encode(), pairQueries(40)},
+		"bfs":          {ReachabilityBFSScheme(), dg.Encode(), pairQueries(48)},
+		"bds":          {BDSScheme(), ug.Encode(), pairQueries(40)},
+		"cvp":          {CVPGateValueScheme(), cvp, gateQueries},
+	}
+}
+
+// TestPreparedVsRawDifferential pins prepared ≡ raw, query for query and
+// error string for error string.
+func TestPreparedVsRawDifferential(t *testing.T) {
+	for name, tc := range preparedCases(t) {
+		t.Run(name, func(t *testing.T) {
+			if tc.scheme.PrepareAnswerer == nil {
+				t.Fatalf("scheme %s has no prepared form", tc.scheme.Name())
+			}
+			pd, err := tc.scheme.Preprocess(tc.data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, err := tc.scheme.Prepare(pd)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			for i, q := range tc.queries {
+				rawGot, rawErr := tc.scheme.Answer(pd, q)
+				prepGot, prepErr := ans.Answer(q)
+				if (rawErr == nil) != (prepErr == nil) {
+					t.Fatalf("query %d: raw err %v, prepared err %v", i, rawErr, prepErr)
+				}
+				if rawErr != nil {
+					if rawErr.Error() != prepErr.Error() {
+						t.Fatalf("query %d: error strings diverge:\n raw:      %v\n prepared: %v", i, rawErr, prepErr)
+					}
+					continue
+				}
+				if rawGot != prepGot {
+					t.Fatalf("query %d: raw %v, prepared %v", i, rawGot, prepGot)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedRejectsCorruptPayload pins that Prepare surfaces the same
+// validation error the raw path reports per query, for the schemes that
+// validate their payload.
+func TestPreparedRejectsCorruptPayload(t *testing.T) {
+	cases := map[string]struct {
+		scheme *core.Scheme
+		pd     []byte
+	}{
+		"closure-short-header":  {ReachabilityScheme(), []byte{1, 2, 3}},
+		"closure-length-lie":    {ReachabilityScheme(), append(core.EncodeUint64(100), 0xff)},
+		"cvp-short-header":      {CVPGateValueScheme(), []byte{9}},
+		"cvp-length-lie":        {CVPGateValueScheme(), append(core.EncodeUint64(1000), 1)},
+		"bfs-corrupt-graph":     {ReachabilityBFSScheme(), []byte{0xff, 0xff, 0xff, 0xff, 0xff}},
+		"scan-corrupt-relation": {PointSelectionScanScheme(), []byte{0xff, 0xff}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, prepErr := tc.scheme.Prepare(tc.pd)
+			if prepErr == nil {
+				t.Fatalf("prepare accepted corrupt payload")
+			}
+			_, rawErr := tc.scheme.Answer(tc.pd, NodePairQuery(0, 1))
+			if rawErr == nil {
+				t.Fatalf("raw path accepted corrupt payload")
+			}
+			if rawErr.Error() != prepErr.Error() {
+				t.Fatalf("error strings diverge:\n raw:      %v\n prepared: %v", rawErr, prepErr)
+			}
+		})
+	}
+}
+
+// TestPreparedFallbackCoversEveryScheme pins the seam's totality: a scheme
+// without a typed prepared form still answers through Prepare (via the raw
+// fallback), identically to Answer.
+func TestPreparedFallbackCoversEveryScheme(t *testing.T) {
+	s := BDSNoPreprocessScheme()
+	pd, err := s.Preprocess(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := s.Prepare(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.RandomConnectedUndirected(16, 30, 2)
+	q := core.PadPair(g.Encode(), NodePairQuery(1, 5))
+	rawGot, rawErr := s.Answer(pd, q)
+	prepGot, prepErr := ans.Answer(q)
+	if rawErr != nil || prepErr != nil {
+		t.Fatalf("raw err %v, prepared err %v", rawErr, prepErr)
+	}
+	if rawGot != prepGot {
+		t.Fatalf("fallback diverged: raw %v, prepared %v", rawGot, prepGot)
+	}
+}

@@ -122,8 +122,9 @@ func PointSelectionScheme() *core.Scheme {
 			_, found := searchSortedKeys(pd, c)
 			return found, nil
 		},
-		PreprocessNote: "O(|D| log |D|)",
-		AnswerNote:     "O(log |D|)",
+		PrepareAnswerer: prepareSortedKeys,
+		PreprocessNote:  "O(|D| log |D|)",
+		AnswerNote:      "O(log |D|)",
 	}
 }
 
@@ -136,8 +137,9 @@ func PointSelectionScanScheme() *core.Scheme {
 		Answer: func(pd, q []byte) (bool, error) {
 			return SelectionLanguage().Contains(pd, q)
 		},
-		PreprocessNote: "O(1)",
-		AnswerNote:     "O(|D|) per query",
+		PrepareAnswerer: preparePointScan,
+		PreprocessNote:  "O(1)",
+		AnswerNote:      "O(|D|) per query",
 	}
 }
 
@@ -177,8 +179,9 @@ func RangeSelectionScheme() *core.Scheme {
 			idx, _ := searchSortedKeys(pd, lo)
 			return idx < len(pd)/8 && sortedKeyAt(pd, idx) <= hi, nil
 		},
-		PreprocessNote: "O(|D| log |D|)",
-		AnswerNote:     "O(log |D|)",
+		PrepareAnswerer: prepareSortedKeysRange,
+		PreprocessNote:  "O(|D| log |D|)",
+		AnswerNote:      "O(log |D|)",
 	}
 }
 
@@ -260,8 +263,9 @@ func ListMembershipScheme() *core.Scheme {
 			_, found := searchSortedKeys(pd, e)
 			return found, nil
 		},
-		PreprocessNote: "O(|M| log |M|)",
-		AnswerNote:     "O(log |M|)",
+		PrepareAnswerer: prepareSortedKeys,
+		PreprocessNote:  "O(|M| log |M|)",
+		AnswerNote:      "O(log |M|)",
 	}
 }
 
@@ -362,16 +366,28 @@ func closureBytes(g *graph.Graph) []byte {
 	return b
 }
 
+// closureProbe is the branch-light probe shared by the raw path and the
+// maintenance code: bounds check plus one byte read, with the header
+// already validated and n hoisted out by the caller. bits is the payload
+// after the 8-byte header.
+func closureProbe(bits []byte, n, u, v int) (bool, error) {
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return false, fmt.Errorf("schemes: node pair (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	bit := u*n + v
+	return bits[bit/8]&(1<<(bit%8)) != 0, nil
+}
+
+// closureReach is the raw-path probe: header validated per call (pd is
+// arbitrary here), then closureProbe. It is kept exactly this shape as the
+// differential oracle for the prepared closureAnswerer, which validates
+// once at Prepare and then probes words directly.
 func closureReach(pd []byte, u, v int) (bool, error) {
 	n, _, err := closureHeader(pd)
 	if err != nil {
 		return false, err
 	}
-	if u < 0 || u >= n || v < 0 || v >= n {
-		return false, fmt.Errorf("schemes: node pair (%d,%d) out of range [0,%d)", u, v, n)
-	}
-	bit := u*n + v
-	return pd[8+bit/8]&(1<<(bit%8)) != 0, nil
+	return closureProbe(pd[8:], n, u, v)
 }
 
 // ReachabilityScheme precomputes the all-pairs matrix ("we may precompute a
@@ -394,8 +410,9 @@ func ReachabilityScheme() *core.Scheme {
 			}
 			return closureReach(pd, u, v)
 		},
-		PreprocessNote: "O(|V|·|E|)",
-		AnswerNote:     "O(1)",
+		PrepareAnswerer: prepareClosure,
+		PreprocessNote:  "O(|V|·|E|)",
+		AnswerNote:      "O(1)",
 	}
 }
 
@@ -407,8 +424,9 @@ func ReachabilityBFSScheme() *core.Scheme {
 		Answer: func(pd, q []byte) (bool, error) {
 			return ReachabilityLanguage().Contains(pd, q)
 		},
-		PreprocessNote: "O(1)",
-		AnswerNote:     "O(|V|+|E|) per query",
+		PrepareAnswerer: prepareBFS,
+		PreprocessNote:  "O(1)",
+		AnswerNote:      "O(|V|+|E|) per query",
 	}
 }
 
@@ -502,8 +520,9 @@ func BDSScheme() *core.Scheme {
 			pv := binary.BigEndian.Uint32(pd[v*4:])
 			return pu < pv, nil
 		},
-		PreprocessNote: "O(|V|+|E|)",
-		AnswerNote:     "O(1) (O(log |M|) via binary search)",
+		PrepareAnswerer: prepareBDS,
+		PreprocessNote:  "O(|V|+|E|)",
+		AnswerNote:      "O(1) (O(log |M|) via binary search)",
 	}
 }
 
@@ -560,6 +579,20 @@ func CVPGateLanguage() core.Language {
 	}
 }
 
+// gateValueHeader parses and validates the gate-value header against the
+// payload length — hoisted out so the prepared path validates once instead
+// of per probe (the raw Answer keeps its inline checks as the oracle).
+func gateValueHeader(pd []byte) (int, error) {
+	if len(pd) < 8 {
+		return 0, fmt.Errorf("schemes: corrupt gate-value header")
+	}
+	n := int(binary.BigEndian.Uint64(pd))
+	if n < 0 || len(pd) != 8+(n+7)/8 {
+		return 0, fmt.Errorf("schemes: gate-value payload is %d bytes, header claims n=%d", len(pd)-8, n)
+	}
+	return n, nil
+}
+
 // CVPGateValueScheme preprocesses a CVP instance by evaluating every gate
 // once (PTIME) and answers gate queries by a single bit read (O(1)).
 func CVPGateValueScheme() *core.Scheme {
@@ -601,8 +634,9 @@ func CVPGateValueScheme() *core.Scheme {
 			}
 			return pd[8+g/8]&(1<<(g%8)) != 0, nil
 		},
-		PreprocessNote: "O(|α|)",
-		AnswerNote:     "O(1)",
+		PrepareAnswerer: prepareCVPGates,
+		PreprocessNote:  "O(|α|)",
+		AnswerNote:      "O(1)",
 	}
 }
 

@@ -17,7 +17,8 @@
 //	POST  /v1/query             answer one query
 //	POST  /v1/query/batch       answer a batch through the worker pool
 //	GET   /v1/stats             per-scheme query counts and latency totals,
-//	                            plus deltas applied and maintenance latency
+//	                            deltas applied and maintenance latency, and
+//	                            answer-cache counters when a cache is set
 //
 // Data, queries, and deltas travel base64-encoded (encoding/json's []byte
 // rule), so the wire format is exactly the library's byte-string instance
@@ -27,7 +28,10 @@
 // registered with ?shards=n (or under the CLI's -shards default) serves
 // /v1/query and /v1/query/batch from its internal/shard fan-out/merge
 // machinery with no client-visible difference except the shards field in
-// DatasetInfo. See docs/API.md for the full request/response reference.
+// DatasetInfo. Every store answers through its prepared (decoded-once)
+// form, and with SetAnswerCache (the -cache-bytes flag) a version-keyed
+// verdict cache with singleflight coalescing sits in front of both answer
+// paths. See docs/API.md for the full request/response reference.
 package server
 
 import (
@@ -42,8 +46,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pitract/internal/cache"
 	"pitract/internal/core"
 	"pitract/internal/schemes"
 	"pitract/internal/shard"
@@ -80,11 +86,30 @@ const maxBodyBytes = 64 << 20
 // server-side bound one request could demand a goroutine per query.
 const maxBatchParallelism = 256
 
-// schemeStats accumulates serving counters for one scheme.
+// schemeStats is the wire form of one scheme's serving counters.
 type schemeStats struct {
 	Queries   int64 `json:"queries"`
 	Errors    int64 `json:"errors"`
 	LatencyNs int64 `json:"latency_ns"`
+}
+
+// schemeCounters accumulates one scheme's serving counters. The fields are
+// atomics — the answer path bumps them lock-free, so bookkeeping never
+// serializes concurrent requests the way the old single-mutex counters did
+// (every request across every scheme used to contend on one statsMu).
+type schemeCounters struct {
+	queries   atomic.Int64
+	errors    atomic.Int64
+	latencyNs atomic.Int64
+}
+
+// snapshot renders the counters for the wire.
+func (c *schemeCounters) snapshot() schemeStats {
+	return schemeStats{
+		Queries:   c.queries.Load(),
+		Errors:    c.errors.Load(),
+		LatencyNs: c.latencyNs.Load(),
+	}
 }
 
 // maxShards caps the client-supplied shard count: each shard costs a
@@ -104,13 +129,18 @@ type Server struct {
 	defaultShards      int
 	defaultPartitioner string
 
-	statsMu sync.Mutex
-	stats   map[string]*schemeStats
+	// stats maps a scheme name to its *schemeCounters; sync.Map keeps the
+	// read-mostly hot path (existing scheme, atomic bumps) lock-free.
+	stats sync.Map
 	// maintenanceNs sums the wall time of successful PATCH maintenance
 	// (the deltas-applied count itself lives on the registry, next to the
 	// preprocess and snapshot-load counters, so library-side ApplyDelta
 	// calls are counted too).
-	maintenanceNs int64
+	maintenanceNs atomic.Int64
+
+	// cache, when non-nil, memoizes ⟨dataset, version, query⟩ verdicts in
+	// front of the answer paths (see SetAnswerCache).
+	cache *cache.Cache
 
 	// httpSrv is created in New so Shutdown always has a target, even when
 	// it races the start of Serve (http.Server.Shutdown before Serve makes
@@ -128,7 +158,6 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 		reg:     reg,
 		catalog: catalog,
 		mux:     http.NewServeMux(),
-		stats:   map[string]*schemeStats{},
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
@@ -142,6 +171,24 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 
 // Registry returns the registry the server answers from.
 func (s *Server) Registry() *store.Registry { return s.reg }
+
+// SetAnswerCache puts c in front of the single and batch answer paths: hot
+// ⟨dataset, version, query⟩ verdicts are served from memory, cold keys run
+// the underlying (prepared) answer once per thundering herd, and a PATCH
+// invalidates by version bump (stale keys age out of the LRU). nil
+// disables caching. Set it before serving traffic — the server face of the
+// CLI's -cache-bytes flag. Cache counters appear in /v1/stats while
+// enabled.
+func (s *Server) SetAnswerCache(c *cache.Cache) { s.cache = c }
+
+// answerPath returns the dataset the answer handlers should answer
+// through: the dataset itself, or its cache-fronted view.
+func (s *Server) answerPath(ds store.Dataset) store.Dataset {
+	if s.cache == nil {
+		return ds
+	}
+	return store.NewCachedDataset(ds, s.cache)
+}
 
 // SetDefaultSharding sets the shard count and partitioner applied to
 // registrations without explicit ?shards/?partitioner parameters — the
@@ -267,6 +314,21 @@ type BatchResponse struct {
 	Version uint64 `json:"version"`
 }
 
+// CacheStats reports the answer cache's counters: hits (served from
+// memory), misses (ran the underlying answer), coalesced (waited on
+// another caller's in-flight answer for the same key), evictions (dropped
+// by the byte budget, which is also how stale-version entries leave), and
+// current residency against the configured budget.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
 // StatsResponse reports serving counters since process start.
 type StatsResponse struct {
 	Datasets        int   `json:"datasets"`
@@ -279,6 +341,9 @@ type StatsResponse struct {
 	DeltasApplied int64                  `json:"deltas_applied"`
 	MaintenanceNs int64                  `json:"maintenance_ns"`
 	PerScheme     map[string]schemeStats `json:"per_scheme"`
+	// Cache carries the answer cache counters; absent when no cache is
+	// configured (see Server.SetAnswerCache and `pitract serve -cache-bytes`).
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 type errorResponse struct {
@@ -508,10 +573,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The version is read before the answer, so the verdict reflects this
 	// version or newer — reported versions are monotonic and never label an
-	// answer with a state it has not seen.
+	// answer with a state it has not seen. The cache (when enabled) keys on
+	// its own admission-time version read, which obeys the same bound.
 	version := ds.Version()
 	start := time.Now()
-	ans, err := ds.Answer(req.Query)
+	ans, err := s.answerPath(ds).Answer(req.Query)
 	served := 1
 	if err != nil {
 		served = 0 // match the batch path: failed queries count as errors, not served queries
@@ -543,7 +609,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	version := ds.Version() // before the batch: see handleQuery
 	start := time.Now()
-	answers, err := ds.AnswerBatch(req.Queries, parallelism)
+	answers, err := s.answerPath(ds).AnswerBatch(req.Queries, parallelism)
 	// Count only queries actually answered: AnswerBatch fails fast and
 	// returns no answers on error, so a failed batch must not inflate the
 	// served-query counter.
@@ -564,39 +630,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Datasets:        s.reg.Len(),
 		PreprocessCalls: s.reg.PreprocessCount(),
 		SnapshotLoads:   s.reg.LoadCount(),
+		MaintenanceNs:   s.maintenanceNs.Load(),
 		PerScheme:       map[string]schemeStats{},
 	}
-	s.statsMu.Lock()
-	for name, st := range s.stats {
-		resp.PerScheme[name] = *st
+	s.stats.Range(func(name, v interface{}) bool {
+		st := v.(*schemeCounters).snapshot()
+		resp.PerScheme[name.(string)] = st
 		resp.Queries += st.Queries
-	}
-	resp.MaintenanceNs = s.maintenanceNs
-	s.statsMu.Unlock()
+		return true
+	})
 	resp.DeltasApplied = s.reg.DeltaCount()
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &CacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Coalesced: cs.Coalesced,
+			Evictions: cs.Evictions, Entries: cs.Entries, Bytes: cs.Bytes,
+			BudgetBytes: cs.BudgetBytes,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // recordMaintenance folds one successful PATCH into the latency counter.
 func (s *Server) recordMaintenance(elapsed time.Duration) {
-	s.statsMu.Lock()
-	s.maintenanceNs += elapsed.Nanoseconds()
-	s.statsMu.Unlock()
+	s.maintenanceNs.Add(elapsed.Nanoseconds())
 }
 
-// record folds one answer-path call into the per-scheme counters.
+// record folds one answer-path call into the per-scheme counters — three
+// atomic adds, so high-QPS serving never bottlenecks on bookkeeping.
 func (s *Server) record(scheme string, queries int, elapsed time.Duration, err error) {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	st := s.stats[scheme]
-	if st == nil {
-		st = &schemeStats{}
-		s.stats[scheme] = st
+	v, ok := s.stats.Load(scheme)
+	if !ok {
+		v, _ = s.stats.LoadOrStore(scheme, &schemeCounters{})
 	}
-	st.Queries += int64(queries)
-	st.LatencyNs += elapsed.Nanoseconds()
+	c := v.(*schemeCounters)
+	c.queries.Add(int64(queries))
+	c.latencyNs.Add(elapsed.Nanoseconds())
 	if err != nil {
-		st.Errors++
+		c.errors.Add(1)
 	}
 }
 

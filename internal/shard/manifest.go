@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"pitract/internal/core"
 	"pitract/internal/store"
@@ -372,6 +373,17 @@ func LoadSharded(dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
 		}
 		ss.Stores[i].SetVersion(snap.Version)
 	}
+	// Warm the per-shard prepared answerers concurrently, as Build does —
+	// a serial warm-up would add n decode latencies to the restart path.
+	var wg sync.WaitGroup
+	for _, st := range ss.Stores {
+		wg.Add(1)
+		go func(st *store.Store) {
+			defer wg.Done()
+			st.Warm()
+		}(st)
+	}
+	wg.Wait()
 	return ss, nil
 }
 

@@ -524,6 +524,7 @@ func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte
 			return oldVersion, fmt.Errorf("shard: prepare summary: %w (nothing applied)", err)
 		}
 	}
+	touched := make([]bool, n)
 	for di, delta := range deltas {
 		locals, err := ss.Sharding.SplitDelta(delta, ss.Asn, sv)
 		if err != nil {
@@ -532,6 +533,9 @@ func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte
 		for s, lds := range locals {
 			if s < 0 || s >= n {
 				return oldVersion, fmt.Errorf("shard: delta %d routed to shard %d out of range [0,%d) (nothing applied)", di, s, n)
+			}
+			if len(lds) > 0 {
+				touched[s] = true
 			}
 			for _, ld := range lds {
 				if pending[s], err = inc.ApplyDelta(pending[s], ld); err != nil {
@@ -564,13 +568,41 @@ func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte
 	if ss.Sharding.Prepare != nil {
 		prepared, prepErr = ss.Sharding.Prepare(summary)
 	}
+	// Stage the touched shards' prepared answerers outside the
+	// reader-blocking lock, so the commit below swaps ⟨Π, version,
+	// prepared⟩ per shard without decoding anything while queries wait —
+	// concurrently, as Build and LoadSharded warm, so PATCH latency grows
+	// with the slowest touched shard's decode, not the sum of all n.
+	// Untouched shards (pending[i] is still the slice View returned) keep
+	// their current Π and its still-valid answerer; only the version
+	// advances. Prepare failures are carried into the stores and surface
+	// per answer, like the raw path's per-query validation (the
+	// maintained bytes are the committed truth).
+	staged := make([]core.Answerer, n)
+	stagedErr := make([]error, n)
+	var stageWG sync.WaitGroup
+	for i := range pending {
+		if !touched[i] {
+			continue
+		}
+		stageWG.Add(1)
+		go func(i int) {
+			defer stageWG.Done()
+			staged[i], stagedErr[i] = ss.Scheme.Prepare(pending[i])
+		}(i)
+	}
+	stageWG.Wait()
 	// Commit: everything swaps inside one writer-lock critical section,
 	// including the memoized prepared summary (refreshed under prepMu
 	// while still holding mu, so no reader can pair the new summary with
 	// the old prepared view).
 	ss.mu.Lock()
 	for i, st := range ss.Stores {
-		st.Replace(pending[i], newVersion)
+		if touched[i] {
+			st.ReplacePrepared(pending[i], newVersion, staged[i], stagedErr[i])
+		} else {
+			st.BumpVersion(newVersion)
+		}
 	}
 	ss.Summary = summary
 	ss.version = newVersion
@@ -657,6 +689,9 @@ func Build(id string, scheme *core.Scheme, sh *Sharding, p Partitioner, n int, d
 				Prep:    pd,
 				DataSum: store.SumData(parts[i]),
 			}
+			// Each shard's Π decodes into its prepared form inside the same
+			// per-shard goroutine, so warm-up parallelizes with preprocessing.
+			ss.Stores[i].Warm()
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"pitract/internal/cache"
+)
+
+// cachedDataset fronts one Dataset with a verdict cache. It implements
+// Dataset by delegation, intercepting only the answer paths.
+type cachedDataset struct {
+	Dataset
+	c *cache.Cache
+}
+
+// NewCachedDataset wraps ds so Answer and AnswerBatch consult (and fill) c
+// before touching the underlying answering path. The cache key is
+// ⟨ds.DatasetID(), ds.Version(), query⟩ with the version read at admission
+// — the same read the HTTP layer reports — so a hit can only ever serve a
+// verdict computed against that version or a newer one, exactly the
+// staleness contract the uncached path already documents, and a committed
+// delta invalidates every prior entry by moving traffic to new keys.
+//
+// The wrapper is an answer-path view: registration and maintenance keep
+// going through the registry (or the underlying dataset), which is also
+// why it deliberately does not implement DeltaDataset. Wrapping costs one
+// allocation; callers serving many requests may wrap once and keep it.
+func NewCachedDataset(ds Dataset, c *cache.Cache) Dataset {
+	if c == nil {
+		return ds
+	}
+	return &cachedDataset{Dataset: ds, c: c}
+}
+
+// Answer implements Dataset: a cache hit returns immediately; a cold key
+// runs the underlying answer once, with concurrent callers of the same key
+// coalesced onto that one run (singleflight).
+func (cd *cachedDataset) Answer(q []byte) (bool, error) {
+	version := cd.Dataset.Version()
+	return cd.c.Do(cd.Dataset.DatasetID(), version, q, func() (bool, error) {
+		return cd.Dataset.Answer(q)
+	})
+}
+
+// AnswerBatch implements Dataset: cached verdicts are filled in directly
+// and only the misses ride the underlying AnswerBatch worker pool (then
+// populate the cache). The whole batch is keyed at one admission version.
+// Misses are answered as one sub-batch rather than coalesced per key.
+func (cd *cachedDataset) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
+	id := cd.Dataset.DatasetID()
+	version := cd.Dataset.Version()
+	results := make([]bool, len(queries))
+	var missIdx []int
+	var missQueries [][]byte
+	for i, q := range queries {
+		if v, ok := cd.c.Lookup(id, version, q); ok {
+			results[i] = v
+		} else {
+			missIdx = append(missIdx, i)
+			missQueries = append(missQueries, q)
+		}
+	}
+	var answers []bool
+	if len(missIdx) > 0 {
+		var err error
+		answers, err = cd.Dataset.AnswerBatch(missQueries, parallelism)
+		if err != nil {
+			// The sub-batch error names the failing query's index *within
+			// the misses*, which would be wrong (and cache-state-dependent)
+			// for the caller. Errors abort the whole batch anyway, so
+			// re-run the full original batch: same deterministic failure,
+			// and the error carries the caller's own lowest failing index —
+			// identical bytes to what the uncached path reports.
+			return cd.Dataset.AnswerBatch(queries, parallelism)
+		}
+	}
+	if cd.Dataset.Version() != version {
+		// A delta committed since admission: mixing entries keyed at the
+		// admission version (whose verdicts may span the commit — a
+		// single-query writer admitted at v may legally cache a verdict
+		// computed at v+1) with the sub-batch's newer answers could
+		// return a combination no single Π produces. Versions are
+		// monotonic, so an unchanged version here certifies the whole
+		// batch consistent at the admission version; on a change, fall
+		// back to one uncached batch — which answers against a single Π,
+		// preserving the batch consistency contract the uncached path
+		// documents. This guards the all-hit path too, not just misses.
+		return cd.Dataset.AnswerBatch(queries, parallelism)
+	}
+	for k, i := range missIdx {
+		results[i] = answers[k]
+		cd.c.Put(id, version, queries[i], answers[k])
+	}
+	return results, nil
+}

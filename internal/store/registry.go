@@ -258,6 +258,9 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 			// resuming from it (not from a re-preprocess of D) is the whole
 			// point of persisting maintenance.
 			st.SetVersion(snap.Version)
+			// Decode Π into its prepared form while still inside the one
+			// build this registration runs — queries then pay only probes.
+			st.Warm()
 			return st, nil
 		}
 	}
@@ -272,6 +275,7 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 			return nil, err
 		}
 	}
+	st.Warm()
 	return st, nil
 }
 

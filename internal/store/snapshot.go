@@ -215,10 +215,11 @@ type Store struct {
 	// fresh Preprocess call (false).
 	Loaded bool
 
-	// mu guards Prep and version: ApplyDeltas swaps them under the write
-	// lock, answer paths snapshot them under the read lock. The write lock
-	// is held only for the pointer swap — never across delta application
-	// or snapshot I/O — so queries are never blocked on maintenance work.
+	// mu guards Prep, version, and the prepared answerer: ApplyDeltas swaps
+	// them under the write lock, answer paths snapshot them under the read
+	// lock. The write lock is held only for the pointer swap — never across
+	// delta application, answerer preparation, or snapshot I/O — so queries
+	// are never blocked on maintenance work.
 	mu sync.RWMutex
 	// maintMu serializes maintainers (ApplyDeltas/Replace callers), so the
 	// staged state and the snapshot on disk can be built outside mu
@@ -227,6 +228,17 @@ type Store struct {
 	// version counts the deltas applied since registration; it only ever
 	// grows, and every applied delta bumps it by one.
 	version uint64
+	// ans is the prepared answerer for the current Π (core.PreparedScheme):
+	// the scheme's typed decoded form, built once per Π — eagerly by Warm at
+	// registration/load, or lazily on the first answer for stores assembled
+	// by hand — and refreshed as part of the same commit that swaps Prep and
+	// version, so a query never pairs a new Π with an old prepared form.
+	// ansErr is the sticky Prepare failure for the current Π (a corrupt
+	// preprocessed string errors once at preparation; every answer surfaces
+	// it, matching the raw path's per-query validation error). Both are nil
+	// while the answerer is unbuilt.
+	ans    core.Answerer
+	ansErr error
 }
 
 // SetVersion stamps the maintenance version on a freshly constructed store
@@ -247,11 +259,61 @@ func (st *Store) View() ([]byte, uint64) {
 // Replace swaps the preprocessed string and maintenance version under the
 // writer lock — the commit step of composite (sharded) maintenance, which
 // stages per-shard strings outside the store and swaps them in wholesale
-// once every shard's maintenance has succeeded.
+// once every shard's maintenance has succeeded. The prepared answerer is
+// reset and rebuilt lazily; maintainers that have already prepared the new
+// Π outside the lock use ReplacePrepared to swap all three at once.
 func (st *Store) Replace(prep []byte, version uint64) {
+	st.ReplacePrepared(prep, version, nil, nil)
+}
+
+// ReplacePrepared is Replace with a pre-staged prepared answerer: ⟨Π,
+// version, prepared⟩ commit in one writer-lock critical section, so the
+// reader-blocking lock is never held across Prepare's decode work. a and
+// aerr may both be nil to defer preparation to the first answer.
+func (st *Store) ReplacePrepared(prep []byte, version uint64, a core.Answerer, aerr error) {
 	st.mu.Lock()
 	st.Prep, st.version = prep, version
+	st.ans, st.ansErr = a, aerr
 	st.mu.Unlock()
+}
+
+// BumpVersion advances the maintenance version while keeping the current
+// Π and its prepared answerer — the commit step for a member store of a
+// composite (sharded) dataset whose own Π a delta batch did not touch:
+// its answerer is still valid, so discarding it would only re-pay the
+// decode for nothing.
+func (st *Store) BumpVersion(version uint64) {
+	st.mu.Lock()
+	st.version = version
+	st.mu.Unlock()
+}
+
+// Warm builds the prepared answerer for the current Π now, so the first
+// query pays a probe, not a decode. Registration and snapshot/manifest
+// reloads call it; stores assembled by hand fall back to the same build on
+// their first answer. Prepare failures are not fatal here — they surface,
+// with the identical message, on every subsequent Answer.
+func (st *Store) Warm() { st.answerer() }
+
+// answerer returns the prepared answerer for the current Π, building and
+// installing it on first use. The double-check under the write lock keeps
+// a racing maintenance commit authoritative: if the version moved while we
+// prepared, the freshly built form still matches the Π this call read, so
+// it is used for this answer and discarded.
+func (st *Store) answerer() (core.Answerer, error) {
+	st.mu.RLock()
+	a, aerr, pd, v := st.ans, st.ansErr, st.Prep, st.version
+	st.mu.RUnlock()
+	if a != nil || aerr != nil {
+		return a, aerr
+	}
+	a, aerr = st.Scheme.Prepare(pd)
+	st.mu.Lock()
+	if st.ans == nil && st.ansErr == nil && st.version == v {
+		st.ans, st.ansErr = a, aerr
+	}
+	st.mu.Unlock()
+	return a, aerr
 }
 
 // Version implements Dataset: the number of deltas applied since
@@ -307,10 +369,13 @@ func (st *Store) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir s
 			return oldVersion, &PersistError{Err: fmt.Errorf("store: persist maintained snapshot: %w (nothing applied)", err)}
 		}
 	}
-	st.mu.Lock()
-	st.Prep = cur
-	st.version = newVersion
-	st.mu.Unlock()
+	// The maintained Π's prepared answerer is built here, outside the
+	// reader-blocking lock, and committed with ⟨Π, version⟩ in one swap. A
+	// Prepare failure does not abort the batch — the maintained bytes are
+	// the committed truth, and answers surface the same validation error
+	// the raw path would report per query.
+	a, aerr := st.Scheme.Prepare(cur)
+	st.ReplacePrepared(cur, newVersion, a, aerr)
 	return newVersion, nil
 }
 
@@ -335,18 +400,34 @@ func (st *Store) ShardCount() int { return 1 }
 // WasLoaded implements Dataset.
 func (st *Store) WasLoaded() bool { return st.Loaded }
 
-// Answer decides one query against the preprocessed store.
+// Answer decides one query against the preprocessed store, through the
+// scheme's prepared (decoded-once) form — the raw Scheme.Answer stays
+// available as the differential oracle.
 func (st *Store) Answer(q []byte) (bool, error) {
-	pd, _ := st.View()
-	return st.Scheme.Answer(pd, q)
+	a, err := st.answerer()
+	if err != nil {
+		return false, err
+	}
+	return a.Answer(q)
 }
 
 // AnswerBatch answers queries concurrently through the scheme's worker
 // pool; parallelism <= 0 selects GOMAXPROCS. The whole batch answers
-// against one consistent Π, even if a delta commits mid-batch.
+// against one consistent Π — the prepared form is snapshot once up front,
+// even if a delta commits mid-batch.
 func (st *Store) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
-	pd, _ := st.View()
-	return st.Scheme.AnswerBatch(pd, queries, parallelism)
+	if len(queries) == 0 {
+		// The raw batch path returns no error on an empty batch even over
+		// a corrupt Π (it never calls Answer); match it.
+		return []bool{}, nil
+	}
+	a, err := st.answerer()
+	if err != nil {
+		// A corrupt Π fails the raw path at its first query; report the
+		// sticky Prepare error in exactly that shape.
+		return nil, fmt.Errorf("scheme %s: batch query %d: %w", st.Scheme.Name(), 0, err)
+	}
+	return core.AnswerBatchPrepared(st.Scheme.Name(), a, queries, parallelism)
 }
 
 // Snapshot renders the store as a persistable snapshot.
@@ -375,7 +456,9 @@ func Open(path string, scheme *core.Scheme, data []byte) (*Store, error) {
 	sum := SumData(data)
 	if snap, err := Load(path); err == nil &&
 		snap.SchemeName == scheme.Name() && snap.DataSum == sum {
-		return &Store{Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true, version: snap.Version}, nil
+		st := &Store{Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true, version: snap.Version}
+		st.Warm()
+		return st, nil
 	}
 	pd, err := scheme.Preprocess(data)
 	if err != nil {
@@ -385,5 +468,6 @@ func Open(path string, scheme *core.Scheme, data []byte) (*Store, error) {
 	if err := Save(path, st.Snapshot()); err != nil {
 		return nil, err
 	}
+	st.Warm()
 	return st, nil
 }

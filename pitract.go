@@ -58,6 +58,18 @@
 // updated data from scratch, and experiment X5 measures maintain vs
 // re-register time.
 //
+// The hot-path query engine keeps the per-query cost down to the probe:
+// every store decodes Π once into a typed prepared answerer
+// (PreparedScheme/Answerer — closure matrices as word-packed bitsets,
+// sorted files as decoded arrays, the BFS baseline as in-memory
+// adjacency) refreshed atomically with ⟨Π, version⟩ on every maintenance
+// commit, and an optional answer cache (NewAnswerCache, NewCachedDataset,
+// Server.SetAnswerCache, `pitract serve -cache-bytes`) memoizes hot
+// ⟨dataset, version, query⟩ verdicts in a sharded byte-budgeted LRU with
+// singleflight coalescing — version-keyed, so PATCH invalidates for free.
+// Both paths are differentially pinned to the raw Answer oracle, and
+// experiment X6 measures cached vs uncached QPS over hot/zipf/cold mixes.
+//
 // See README.md for a tour, docs/ARCHITECTURE.md for the layer map,
 // docs/API.md for the HTTP reference, and EXPERIMENTS.md for
 // paper-vs-measured results.
@@ -67,6 +79,7 @@ import (
 	"fmt"
 	"io"
 
+	"pitract/internal/cache"
 	"pitract/internal/circuit"
 	"pitract/internal/compress"
 	"pitract/internal/core"
@@ -130,6 +143,14 @@ type (
 	RewritingScheme = core.RewritingScheme
 	// IncrementalScheme extends a Scheme with maintenance of Π(D ⊕ ∆D).
 	IncrementalScheme = core.IncrementalScheme
+	// Answerer is one prepared Π(D): the scheme's typed, decoded-once
+	// in-memory form, whose Answer does only the probe (the hot-path seam
+	// every Store answers through).
+	Answerer = core.Answerer
+	// PreparedScheme is the prepared-answerer seam: anything that decodes
+	// one Π(D) into an Answerer. Every *Scheme implements it — natively
+	// via its typed prepared form, or through a raw-Answer fallback.
+	PreparedScheme = core.PreparedScheme
 )
 
 // Landscape classes (Figure 2).
@@ -254,6 +275,32 @@ var (
 	// ServeCatalog lists the schemes a server offers for registration,
 	// keyed by scheme name.
 	ServeCatalog = server.Catalog
+)
+
+// --- the answer cache (internal/cache) ------------------------------------------
+
+type (
+	// AnswerCache memoizes hot ⟨dataset, version, query⟩ verdicts in front
+	// of the answering path: a sharded, byte-budgeted LRU with singleflight
+	// coalescing (a thundering herd on one cold key runs the underlying
+	// answer once). Maintenance invalidates for free — the dataset version
+	// is part of every key, so a committed delta moves traffic to new keys
+	// and stale entries age out. Wire it into a server with
+	// Server.SetAnswerCache (the `pitract serve -cache-bytes` flag) or in
+	// front of any Dataset with NewCachedDataset.
+	AnswerCache = cache.Cache
+	// AnswerCacheStats is a point-in-time snapshot of an AnswerCache's
+	// hit/miss/coalesced/eviction counters and residency.
+	AnswerCacheStats = cache.Stats
+)
+
+var (
+	// NewAnswerCache returns an answer cache bounded by a byte budget.
+	NewAnswerCache = cache.New
+	// NewCachedDataset fronts one dataset (plain or sharded) with an
+	// answer cache: Answer and AnswerBatch consult and fill the cache,
+	// keyed at the admission-time maintenance version.
+	NewCachedDataset = store.NewCachedDataset
 )
 
 // --- sharded stores (internal/shard) --------------------------------------------
