@@ -82,6 +82,25 @@ func BenchmarkX6(b *testing.B) {
 
 func BenchmarkX6_HotPathCache(b *testing.B) { benchExperiment(b, "X6") }
 
+// BenchmarkX7 regenerates the serving-envelope load experiment and reports
+// its headline numbers — the admitted p99 latency and the rejection rate
+// over the overload zipf mix — as benchmark metrics, so BENCH_ci.json
+// tracks how the envelope degrades under pressure from this PR on.
+func BenchmarkX7(b *testing.B) {
+	var p99Ms, rejectedRate float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		p99Ms, rejectedRate, err = harness.X7EnvelopeMetrics(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p99Ms, "admitted-p99-ms")
+	b.ReportMetric(rejectedRate, "rejection-rate")
+}
+
+func BenchmarkX7_Envelope(b *testing.B) { benchExperiment(b, "X7") }
+
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same
 // query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the

@@ -144,12 +144,20 @@ func cmdServe(args []string) int {
 	fs := flag.NewFlagSet("pitract serve", flag.ContinueOnError)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range] [-cache-bytes N]")
+		fmt.Fprintln(fs.Output(), "                     [-max-inflight N] [-max-inflight-dataset N] [-max-body-bytes N] [-max-batch N]")
+		fmt.Fprintln(fs.Output(), "                     [-register-budget D] [-retry-after D]")
 	}
 	addr := fs.String("addr", ":8080", "listen address")
 	data := fs.String("data", "", "snapshot directory for preprocessed stores (empty = in-memory only)")
 	shards := fs.Int("shards", 0, "default shard count for registered datasets (0 or 1 = unsharded; per-request ?shards=N overrides)")
 	partitioner := fs.String("partitioner", "hash", "default partitioner for sharded datasets: hash or range")
 	cacheBytes := fs.Int64("cache-bytes", 0, "answer-cache budget in bytes: memoize hot (dataset, version, query) verdicts (0 = no cache)")
+	maxInFlight := fs.Int("max-inflight", 0, "admitted work requests across the server; beyond it requests get 429 + Retry-After (0 = unlimited)")
+	maxInFlightDS := fs.Int("max-inflight-dataset", 0, "admitted work requests per dataset id (0 = unlimited)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 0, "request-body byte cap; larger bodies get 413 (0 = the 64 MiB default)")
+	maxBatch := fs.Int("max-batch", 0, "queries per /v1/query/batch request; larger batches get 413 (0 = the 4096 default)")
+	registerBudget := fs.Duration("register-budget", 0, "wall budget per registration or PATCH, e.g. 30s; over-budget work is abandoned with 503 (0 = none)")
+	retryAfter := fs.Duration("retry-after", 0, "delay advertised in 429 Retry-After headers (0 = the 1s default)")
 	if code := parseArgs(fs, args); code >= 0 {
 		return code
 	}
@@ -161,6 +169,16 @@ func cmdServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "pitract serve: -cache-bytes %d: want a non-negative byte budget\n", *cacheBytes)
 		return 2
 	}
+	for name, v := range map[string]int64{
+		"-max-inflight": int64(*maxInFlight), "-max-inflight-dataset": int64(*maxInFlightDS),
+		"-max-body-bytes": *maxBodyBytes, "-max-batch": int64(*maxBatch),
+		"-register-budget": int64(*registerBudget), "-retry-after": int64(*retryAfter),
+	} {
+		if v < 0 {
+			fmt.Fprintf(os.Stderr, "pitract serve: %s: want a non-negative value\n", name)
+			return 2
+		}
+	}
 
 	reg := pitract.NewStoreRegistry(*data)
 	srv := pitract.NewServer(reg, nil)
@@ -171,6 +189,14 @@ func cmdServe(args []string) int {
 	if *cacheBytes > 0 {
 		srv.SetAnswerCache(pitract.NewAnswerCache(*cacheBytes))
 	}
+	srv.SetLimits(pitract.ServerLimits{
+		MaxInFlight:           *maxInFlight,
+		MaxInFlightPerDataset: *maxInFlightDS,
+		MaxBodyBytes:          *maxBodyBytes,
+		MaxBatchQueries:       *maxBatch,
+		RegisterBudget:        *registerBudget,
+		RetryAfter:            *retryAfter,
+	})
 	// Bind before announcing, so the "listening" line means the port is
 	// live (and reports the real port when -addr ends in :0).
 	ln, err := net.Listen("tcp", *addr)
@@ -187,6 +213,10 @@ func cmdServe(args []string) int {
 	}
 	if *cacheBytes > 0 {
 		persistence += fmt.Sprintf(", answer cache %d bytes", *cacheBytes)
+	}
+	if *maxInFlight > 0 || *maxInFlightDS > 0 || *registerBudget > 0 {
+		persistence += fmt.Sprintf(", envelope: in-flight %s global / %s per dataset, register budget %s",
+			limitOrUnlimited(*maxInFlight), limitOrUnlimited(*maxInFlightDS), budgetOrNone(*registerBudget))
 	}
 	schemes := make([]string, 0)
 	for name := range pitract.ServeCatalog() {
@@ -226,6 +256,22 @@ func cmdServe(args []string) int {
 	return 0
 }
 
+// limitOrUnlimited renders a concurrency limit for the startup banner.
+func limitOrUnlimited(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// budgetOrNone renders a duration budget for the startup banner.
+func budgetOrNone(d time.Duration) string {
+	if d <= 0 {
+		return "none"
+	}
+	return d.String()
+}
+
 // parseArgs parses args with fs, routing -h/--help usage to stdout (exit
 // 0) and parse errors plus usage to stderr (exit 2). Returns -1 when
 // parsing succeeded and the caller should continue.
@@ -257,7 +303,9 @@ usage:
   pitract list                              list experiments
   pitract run [-full] [-parallel N] <id>... run experiments (or 'run all')
   pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]
-                [-cache-bytes N]            serve preprocessed stores over HTTP
+                [-cache-bytes N] [-max-inflight N] [-max-inflight-dataset N]
+                [-max-body-bytes N] [-max-batch N] [-register-budget D]
+                [-retry-after D]            serve preprocessed stores over HTTP
 
 running in parallel:
   X1 races the goroutine-parallel PRAM executor against the sequential
@@ -278,6 +326,13 @@ serving:
   With -cache-bytes N, hot (dataset, version, query) verdicts are served
   from a sharded in-memory LRU with singleflight coalescing — version-keyed,
   so a PATCH invalidates stale entries for free; hit/miss/coalesced counters
-  appear in /v1/stats. See docs/ARCHITECTURE.md and docs/API.md.
+  appear in /v1/stats. The serving envelope bounds what one request or one
+  burst can cost: -max-body-bytes and -max-batch refuse oversized work with
+  413, -max-inflight/-max-inflight-dataset refuse work beyond the
+  concurrency limits with 429 + Retry-After (tune the advertised delay with
+  -retry-after), and -register-budget abandons registrations or PATCHes
+  that outrun their wall budget with 503 and no catalog side effects.
+  Rejection counters and the in-flight gauge appear in /v1/stats. See
+  docs/ARCHITECTURE.md and docs/API.md.
 `)
 }

@@ -15,6 +15,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"pitract"
 )
@@ -246,6 +247,16 @@ func TestAPIDocMatchesServer(t *testing.T) {
 			Errors    int64 `json:"errors"`
 			LatencyNs int64 `json:"latency_ns"`
 		} `json:"per_scheme"`
+		Envelope struct {
+			InFlight         int64 `json:"in_flight"`
+			MaxInFlight      int   `json:"max_in_flight"`
+			MaxBodyBytes     int64 `json:"max_body_bytes"`
+			MaxBatchQueries  int   `json:"max_batch_queries"`
+			Rejected429      int64 `json:"rejected_429"`
+			RejectedBody413  int64 `json:"rejected_body_413"`
+			RejectedBatch413 int64 `json:"rejected_batch_413"`
+			BudgetExceeded   int64 `json:"budget_exceeded"`
+		} `json:"envelope"`
 		Cache *struct {
 			Hits        int64 `json:"hits"`
 			Misses      int64 `json:"misses"`
@@ -281,6 +292,15 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	if stats.Cache.BudgetBytes != 1<<20 || stats.Cache.Bytes <= 0 {
 		t.Fatalf("cache residency diverges from the documented example: %+v", *stats.Cache)
 	}
+	// The envelope block: this server runs the default limits and nothing
+	// above tripped them, so the documented example's values are exact.
+	env := stats.Envelope
+	if env.InFlight != 0 || env.MaxInFlight != 0 || env.MaxBodyBytes != 64<<20 || env.MaxBatchQueries != 4096 {
+		t.Fatalf("envelope limits diverge from the documented example: %+v", env)
+	}
+	if env.Rejected429 != 0 || env.RejectedBody413 != 0 || env.RejectedBatch413 != 0 || env.BudgetExceeded != 0 {
+		t.Fatalf("envelope rejections diverge from the documented example: %+v", env)
+	}
 
 	// Every endpoint the server registers must be documented.
 	for _, endpoint := range []string{"/healthz", "/v1/datasets", "/v1/datasets/{id}", "/v1/query", "/v1/query/batch", "/v1/stats"} {
@@ -288,4 +308,136 @@ func TestAPIDocMatchesServer(t *testing.T) {
 			t.Errorf("docs/API.md does not document %s", endpoint)
 		}
 	}
+}
+
+// TestAPIDocEnvelopeExamples replays the Serving-envelope section of
+// docs/API.md against a server configured with the section's deliberately
+// tiny limits. The catalog wraps list-membership/sorted so preprocessing
+// reliably outruns a 1ms budget and one query can be parked in flight —
+// that makes every documented 413/429/503 body deterministic.
+func TestAPIDocEnvelopeExamples(t *testing.T) {
+	docBytes, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md missing: %v", err)
+	}
+	doc := string(docBytes)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	base := pitract.ServeCatalog()["list-membership/sorted"]
+	slow := &pitract.Scheme{
+		SchemeName: base.SchemeName,
+		Preprocess: func(d []byte) ([]byte, error) {
+			time.Sleep(50 * time.Millisecond)
+			return base.Preprocess(d)
+		},
+		Answer: func(pd, q []byte) (bool, error) {
+			if string(q) == "park" {
+				entered <- struct{}{}
+				<-gate
+				return false, nil
+			}
+			return base.Answer(pd, q)
+		},
+	}
+	catalog := pitract.ServeCatalog()
+	catalog[slow.SchemeName] = slow
+
+	srv := pitract.NewServer(pitract.NewStoreRegistry(""), catalog)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	// Runs before ts.Close (defers are LIFO): if an assertion fails while a
+	// query is parked, releasing it keeps Close from waiting forever.
+	defer close(gate)
+	client := ts.Client()
+
+	post := func(t *testing.T, path, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, strings.TrimSpace(buf.String())
+	}
+	replay := func(t *testing.T, path, reqBody string, wantStatus int, wantBody string) *http.Response {
+		t.Helper()
+		if reqBody != "" && !strings.Contains(doc, reqBody) {
+			t.Errorf("docs/API.md does not contain the documented request body %s", reqBody)
+		}
+		if !strings.Contains(doc, wantBody) {
+			t.Errorf("docs/API.md does not contain the documented response body %s", wantBody)
+		}
+		resp, body := post(t, path, reqBody)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, wantStatus, body)
+		}
+		if body != wantBody {
+			t.Fatalf("live response diverged from docs/API.md:\n got: %s\nwant: %s", body, wantBody)
+		}
+		return resp
+	}
+
+	// The doc's envelope invocation: -max-body-bytes 128 -max-batch 2.
+	srv.SetLimits(pitract.ServerLimits{MaxBodyBytes: 128, MaxBatchQueries: 2})
+	replay(t, "/v1/datasets",
+		`{"id":"big","scheme":"list-membership/sorted","data":"AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"}`,
+		http.StatusRequestEntityTooLarge,
+		`{"error":"request body exceeds the 128-byte limit"}`)
+	replay(t, "/v1/query/batch",
+		`{"dataset":"m","queries":["goCAgICAgICAAQ==","iYCAgICAgICAAQ==","goCAgICAgICAAQ=="]}`,
+		http.StatusRequestEntityTooLarge,
+		`{"error":"batch of 3 queries exceeds the 2-query limit"}`)
+
+	// -register-budget 1ms: the wrapped Preprocess sleeps 50ms, so the
+	// budget reliably expires mid-build and the build is abandoned.
+	srv.SetLimits(pitract.ServerLimits{RegisterBudget: time.Millisecond})
+	replay(t, "/v1/datasets",
+		`{"id":"slow","scheme":"list-membership/sorted","data":"AwIEBg=="}`,
+		http.StatusServiceUnavailable,
+		`{"error":"store: register \"slow\": request budget exceeded (context deadline exceeded)"}`)
+
+	// -max-inflight 1, saturated by one parked query ("park" base64).
+	srv.SetLimits(pitract.ServerLimits{MaxInFlight: 1})
+	if _, body := post(t, "/v1/datasets", `{"id":"m","scheme":"list-membership/sorted","data":"AwIEBg=="}`); !strings.Contains(body, `"id":"m"`) {
+		t.Fatalf("registering the demo dataset: %s", body)
+	}
+	parked := make(chan string, 1)
+	go func() {
+		_, body := post(t, "/v1/query", `{"dataset":"m","query":"cGFyaw=="}`)
+		parked <- body
+	}()
+	<-entered
+	resp := replay(t, "/v1/query", `{"dataset":"m","query":"goCAgICAgICAAQ=="}`,
+		http.StatusTooManyRequests,
+		`{"error":"server at capacity (1 in flight); retry after 1s"}`)
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After header %q, want %q", got, "1")
+	}
+	gate <- struct{}{}
+	<-parked
+
+	// -max-inflight-dataset 1: the dataset is named and other datasets
+	// keep answering, exactly as the doc's prose quotes.
+	srv.SetLimits(pitract.ServerLimits{MaxInFlightPerDataset: 1})
+	go func() {
+		_, body := post(t, "/v1/query", `{"dataset":"m","query":"cGFyaw=="}`)
+		parked <- body
+	}()
+	<-entered
+	wantPerDS := `dataset "m" at capacity (1 in flight)`
+	if !strings.Contains(doc, wantPerDS) {
+		t.Errorf("docs/API.md does not quote the per-dataset rejection %s", wantPerDS)
+	}
+	resp, body := post(t, "/v1/query", `{"dataset":"m","query":"goCAgICAgICAAQ=="}`)
+	// On the wire the quotes around the dataset id are JSON-escaped.
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(body, `dataset \"m\" at capacity (1 in flight)`) {
+		t.Fatalf("per-dataset rejection: status %d body %s", resp.StatusCode, body)
+	}
+	gate <- struct{}{}
+	<-parked
 }

@@ -1,0 +1,221 @@
+package server
+
+// The serving envelope: admission control, request budgets, and
+// backpressure for the answering face of the preprocess-once/answer-many
+// asymmetry. The paper's asymmetry only pays off if the NC answer path
+// survives real traffic — a *valid* huge registration, an uncapped batch,
+// or a saturating client can starve the node just as surely as a hostile
+// payload (which PR 2's decoder bounds already stop). The envelope states
+// the degraded mode instead of collapsing: work beyond the configured
+// concurrency limits is refused with 429 + Retry-After (backpressure, not
+// an unbounded queue), oversized bodies and batches are refused with 413
+// naming the limit, and registrations or delta batches that outrun their
+// wall budget are abandoned with 503 and no catalog side effects. Every
+// rejection and the live in-flight gauge are surfaced in /v1/stats, so an
+// operator can see the envelope working rather than infer it from latency.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default envelope limits: wide enough that every existing workload in
+// this repository is unaffected, finite enough that no single request can
+// exhaust the node.
+const (
+	// DefaultMaxBodyBytes caps request bodies (registration data and query
+	// batches are buffered in memory). 64 MiB fits every workload in this
+	// repository with room to spare.
+	DefaultMaxBodyBytes = 64 << 20
+	// DefaultMaxBatchQueries caps len(BatchRequest.Queries): each query is
+	// decoded and answered, so an unbounded batch is an unbounded work
+	// order riding one request.
+	DefaultMaxBatchQueries = 4096
+	// DefaultRetryAfter is advertised in the Retry-After header of every
+	// 429 when Limits.RetryAfter is unset.
+	DefaultRetryAfter = time.Second
+)
+
+// Limits configures the serving envelope. The zero value of a field keeps
+// its documented default (for the caps) or disables the limit (for the
+// concurrency and budget knobs), so Limits{} reproduces the pre-envelope
+// behavior with finite body/batch caps. Set it before serving traffic via
+// Server.SetLimits — the server face of the `pitract serve` -max-* and
+// -register-budget flags.
+type Limits struct {
+	// MaxBodyBytes caps every request body; requests over it are refused
+	// with 413 naming the limit. 0 selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxBatchQueries caps len(BatchRequest.Queries); larger batches are
+	// refused with 413 naming the limit. 0 selects DefaultMaxBatchQueries.
+	MaxBatchQueries int
+	// MaxInFlight caps concurrently admitted work requests across the
+	// whole server (registrations, PATCHes, queries, and batches); work
+	// beyond it is refused with 429 + Retry-After instead of queueing.
+	// Observability endpoints (/healthz, /v1/stats, GETs) are never
+	// metered — the envelope must stay visible under saturation. 0 = no
+	// global limit.
+	MaxInFlight int
+	// MaxInFlightPerDataset caps concurrently admitted work requests per
+	// dataset id, so one hot dataset cannot starve the rest of the
+	// catalog. 0 = no per-dataset limit.
+	MaxInFlightPerDataset int
+	// RegisterBudget bounds the wall time of one registration or PATCH:
+	// the request context's deadline is threaded into
+	// Registry.RegisterContext / ApplyDeltaContext, and work that outruns
+	// it is abandoned with 503 and no catalog entry (registration) or
+	// nothing applied (PATCH). 0 = no budget.
+	RegisterBudget time.Duration
+	// RetryAfter is the delay advertised in the Retry-After header of
+	// every 429. 0 selects DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// withDefaults resolves the zero-value fields to their documented
+// defaults.
+func (l Limits) withDefaults() Limits {
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if l.MaxBatchQueries <= 0 {
+		l.MaxBatchQueries = DefaultMaxBatchQueries
+	}
+	if l.MaxInFlight < 0 {
+		l.MaxInFlight = 0
+	}
+	if l.MaxInFlightPerDataset < 0 {
+		l.MaxInFlightPerDataset = 0
+	}
+	if l.RetryAfter <= 0 {
+		l.RetryAfter = DefaultRetryAfter
+	}
+	return l
+}
+
+// EnvelopeStats is the wire form of the envelope's gauges, counters, and
+// active limits — the /v1/stats "envelope" block. The limits ride along so
+// an operator reading the stats sees the envelope the counters were
+// produced under (0 = unlimited / no budget).
+type EnvelopeStats struct {
+	// InFlight is the number of work requests currently admitted.
+	InFlight int64 `json:"in_flight"`
+	// The active limits (see Limits; 0 = unlimited / no budget).
+	MaxInFlight           int   `json:"max_in_flight"`
+	MaxInFlightPerDataset int   `json:"max_in_flight_per_dataset"`
+	MaxBodyBytes          int64 `json:"max_body_bytes"`
+	MaxBatchQueries       int   `json:"max_batch_queries"`
+	RegisterBudgetMs      int64 `json:"register_budget_ms"`
+	// Rejected429 counts requests refused by the concurrency limits
+	// (global or per-dataset) with 429 + Retry-After.
+	Rejected429 int64 `json:"rejected_429"`
+	// RejectedBody413 counts requests refused for an oversized body.
+	RejectedBody413 int64 `json:"rejected_body_413"`
+	// RejectedBatch413 counts batch requests refused for too many queries.
+	RejectedBatch413 int64 `json:"rejected_batch_413"`
+	// BudgetExceeded counts registrations and PATCHes abandoned with 503
+	// after outrunning RegisterBudget.
+	BudgetExceeded int64 `json:"budget_exceeded"`
+}
+
+// envelope enforces Limits: non-blocking admission against a global and a
+// per-dataset in-flight cap, plus the rejection counters /v1/stats
+// reports. Admission is deliberately try-acquire — refused work is
+// answered 429 immediately rather than parked in an unbounded queue whose
+// latency would collapse the node anyway (clients hold the retry state,
+// per Retry-After).
+type envelope struct {
+	limits Limits
+
+	inFlight atomic.Int64
+
+	// mu guards perDataset. Entries exist only while a dataset has
+	// admitted requests (release deletes on zero), so hostile never-seen
+	// dataset ids cannot grow the map without also holding slots.
+	mu         sync.Mutex
+	perDataset map[string]int
+
+	rejected429      atomic.Int64
+	rejectedBody413  atomic.Int64
+	rejectedBatch413 atomic.Int64
+	budgetExceeded   atomic.Int64
+}
+
+// newEnvelope returns an envelope enforcing l (with defaults resolved).
+func newEnvelope(l Limits) *envelope {
+	return &envelope{limits: l.withDefaults(), perDataset: map[string]int{}}
+}
+
+// admit tries to admit one work request against dataset (may be "" for
+// requests not addressed to a dataset yet). On success it returns a
+// release func the caller must defer, and ok=true. On refusal it returns
+// ok=false with the human-readable reason for the 429 body; nothing is
+// held.
+func (ev *envelope) admit(dataset string) (release func(), reason string, ok bool) {
+	n := ev.inFlight.Add(1)
+	if max := ev.limits.MaxInFlight; max > 0 && n > int64(max) {
+		ev.inFlight.Add(-1)
+		return nil, fmt.Sprintf("server at capacity (%d in flight)", max), false
+	}
+	if max := ev.limits.MaxInFlightPerDataset; max > 0 && dataset != "" {
+		ev.mu.Lock()
+		if ev.perDataset[dataset] >= max {
+			ev.mu.Unlock()
+			ev.inFlight.Add(-1)
+			return nil, fmt.Sprintf("dataset %q at capacity (%d in flight)", dataset, max), false
+		}
+		ev.perDataset[dataset]++
+		ev.mu.Unlock()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if ev.limits.MaxInFlightPerDataset > 0 && dataset != "" {
+				ev.mu.Lock()
+				if ev.perDataset[dataset]--; ev.perDataset[dataset] <= 0 {
+					delete(ev.perDataset, dataset)
+				}
+				ev.mu.Unlock()
+			}
+			ev.inFlight.Add(-1)
+		})
+	}, "", true
+}
+
+// retryAfterSeconds renders the advertised Retry-After delay in whole
+// seconds (the header's delta-seconds form), at least 1.
+func (ev *envelope) retryAfterSeconds() int {
+	s := int(ev.limits.RetryAfter / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// reject429 writes the backpressure response: 429 Too Many Requests with
+// the Retry-After header and the reason in the error body, and counts it.
+func (ev *envelope) reject429(w http.ResponseWriter, reason string) {
+	ev.rejected429.Add(1)
+	secs := ev.retryAfterSeconds()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "%s; retry after %ds", reason, secs)
+}
+
+// stats snapshots the envelope for /v1/stats.
+func (ev *envelope) stats() EnvelopeStats {
+	return EnvelopeStats{
+		InFlight:              ev.inFlight.Load(),
+		MaxInFlight:           ev.limits.MaxInFlight,
+		MaxInFlightPerDataset: ev.limits.MaxInFlightPerDataset,
+		MaxBodyBytes:          ev.limits.MaxBodyBytes,
+		MaxBatchQueries:       ev.limits.MaxBatchQueries,
+		RegisterBudgetMs:      ev.limits.RegisterBudget.Milliseconds(),
+		Rejected429:           ev.rejected429.Load(),
+		RejectedBody413:       ev.rejectedBody413.Load(),
+		RejectedBatch413:      ev.rejectedBatch413.Load(),
+		BudgetExceeded:        ev.budgetExceeded.Load(),
+	}
+}

@@ -31,7 +31,14 @@
 // DatasetInfo. Every store answers through its prepared (decoded-once)
 // form, and with SetAnswerCache (the -cache-bytes flag) a version-keyed
 // verdict cache with singleflight coalescing sits in front of both answer
-// paths. See docs/API.md for the full request/response reference.
+// paths.
+//
+// A serving envelope (see Limits and SetLimits) bounds what one request
+// or one burst can cost: oversized bodies and batches are refused with
+// 413, work beyond the configured concurrency limits with 429 +
+// Retry-After, and registrations or delta batches that outrun their wall
+// budget are abandoned with 503 and no catalog side effects. See
+// docs/API.md for the full request/response reference.
 package server
 
 import (
@@ -75,11 +82,6 @@ func Catalog() map[string]*core.Scheme {
 	}
 	return cat
 }
-
-// maxBodyBytes caps request bodies: registration data and query batches
-// are buffered in memory, so an unbounded body is an invitation to exhaust
-// it. 64 MiB fits every workload in this repository with room to spare.
-const maxBodyBytes = 64 << 20
 
 // maxBatchParallelism caps the client-supplied worker count for batch
 // answering; AnswerBatch only clamps to len(queries), so without a
@@ -141,6 +143,14 @@ type Server struct {
 	// cache, when non-nil, memoizes ⟨dataset, version, query⟩ verdicts in
 	// front of the answer paths (see SetAnswerCache).
 	cache *cache.Cache
+	// cachedViews memoizes the cache-fronted view per dataset id, so the
+	// answer paths stop allocating a fresh wrapper per request (see
+	// answerPath). Values are *cachedView; SetAnswerCache clears it.
+	cachedViews sync.Map
+
+	// env enforces the serving envelope: body/batch caps, admission
+	// control, and request budgets (see Limits and SetLimits). Never nil.
+	env *envelope
 
 	// httpSrv is created in New so Shutdown always has a target, even when
 	// it races the start of Serve (http.Server.Shutdown before Serve makes
@@ -165,8 +175,42 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.env = newEnvelope(Limits{})
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.applyTimeouts()
 	return s
+}
+
+// SetLimits installs the serving envelope — body/batch caps, concurrency
+// admission, request budgets, and the Retry-After advertisement — and
+// sizes the http.Server timeouts to fit it. Set it before serving
+// traffic; the zero Limits (the default) keeps the documented caps with
+// no concurrency limit and no budget.
+func (s *Server) SetLimits(l Limits) {
+	s.env = newEnvelope(l)
+	s.applyTimeouts()
+}
+
+// Limits returns the active serving envelope (defaults resolved).
+func (s *Server) Limits() Limits { return s.env.limits }
+
+// applyTimeouts sizes the http.Server timeouts to the envelope. The
+// header read stays on a tight fuse and idle keep-alives are reaped, but
+// the read/write timeouts — which bound body transfer and the whole
+// handler — must fit the slowest legitimate request: a registration
+// running right up to its budget. With no budget configured they fall
+// back to a generous fixed window; set RegisterBudget to serve
+// registrations slower than that.
+func (s *Server) applyTimeouts() {
+	const baseTimeout = 2 * time.Minute
+	rw := baseTimeout
+	if b := s.env.limits.RegisterBudget; b > 0 && b+30*time.Second > rw {
+		rw = b + 30*time.Second
+	}
+	s.httpSrv.ReadHeaderTimeout = 10 * time.Second
+	s.httpSrv.ReadTimeout = rw
+	s.httpSrv.WriteTimeout = rw
+	s.httpSrv.IdleTimeout = 2 * time.Minute
 }
 
 // Registry returns the registry the server answers from.
@@ -179,15 +223,42 @@ func (s *Server) Registry() *store.Registry { return s.reg }
 // disables caching. Set it before serving traffic — the server face of the
 // CLI's -cache-bytes flag. Cache counters appear in /v1/stats while
 // enabled.
-func (s *Server) SetAnswerCache(c *cache.Cache) { s.cache = c }
+func (s *Server) SetAnswerCache(c *cache.Cache) {
+	s.cache = c
+	// Memoized views wrap the previous cache; drop them so answerPath
+	// rebuilds against c.
+	s.cachedViews.Range(func(k, _ interface{}) bool {
+		s.cachedViews.Delete(k)
+		return true
+	})
+}
+
+// cachedView pairs a dataset with its memoized cache-fronted view; the ds
+// field lets answerPath detect a re-registered dataset under the same id
+// and rebuild rather than answer through a stale wrapper.
+type cachedView struct {
+	ds   store.Dataset
+	view store.Dataset
+}
 
 // answerPath returns the dataset the answer handlers should answer
-// through: the dataset itself, or its cache-fronted view.
+// through: the dataset itself, or its cache-fronted view. The view is
+// memoized per dataset id — NewCachedDataset is cheap but per-request
+// allocation on the hot answer path is pure garbage-collector load, and
+// the wrapper is immutable (version-keying happens per call inside it).
 func (s *Server) answerPath(ds store.Dataset) store.Dataset {
 	if s.cache == nil {
 		return ds
 	}
-	return store.NewCachedDataset(ds, s.cache)
+	id := ds.DatasetID()
+	if v, ok := s.cachedViews.Load(id); ok {
+		if cv := v.(*cachedView); cv.ds == ds {
+			return cv.view
+		}
+	}
+	cv := &cachedView{ds: ds, view: store.NewCachedDataset(ds, s.cache)}
+	s.cachedViews.Store(id, cv)
+	return cv.view
 }
 
 // SetDefaultSharding sets the shard count and partitioner applied to
@@ -341,6 +412,11 @@ type StatsResponse struct {
 	DeltasApplied int64                  `json:"deltas_applied"`
 	MaintenanceNs int64                  `json:"maintenance_ns"`
 	PerScheme     map[string]schemeStats `json:"per_scheme"`
+	// Envelope reports the serving envelope: the in-flight gauge, the
+	// active limits, and every rejection the envelope has issued (429
+	// backpressure, 413 oversized bodies and batches, 503 budget
+	// exhaustions). See Limits and Server.SetLimits.
+	Envelope EnvelopeStats `json:"envelope"`
 	// Cache carries the answer cache counters; absent when no cache is
 	// configured (see Server.SetAnswerCache and `pitract serve -cache-bytes`).
 	Cache *CacheStats `json:"cache,omitempty"`
@@ -362,10 +438,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// decodeBody decodes a JSON request body under the envelope's byte cap.
+// An oversized body is a 413 naming the limit — it is a well-formed
+// request the server refuses by policy, not a malformed one — and every
+// other decode failure stays a 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.env.limits.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.env.rejectedBody413.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -417,24 +504,39 @@ func (s *Server) handleDatasetByID(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, datasetInfo(ds))
 	case http.MethodPatch:
 		var req PatchRequest
-		if !decodeBody(w, r, &req) {
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
 		if len(req.Deltas) == 0 {
 			writeError(w, http.StatusBadRequest, "empty delta batch")
 			return
 		}
+		release, reason, admitted := s.env.admit(id)
+		if !admitted {
+			s.env.reject429(w, reason)
+			return
+		}
+		defer release()
 		ds, ok := s.lookup(w, id)
 		if !ok {
 			return
 		}
+		ctx, cancel := s.workContext(r)
+		defer cancel()
 		start := time.Now()
-		if _, err := s.reg.ApplyDelta(id, req.Deltas); err != nil {
+		if _, err := s.reg.ApplyDeltaContext(ctx, id, req.Deltas); err != nil {
 			var nf *store.NotFoundError
 			var pe *store.PersistError
+			var be *store.BudgetError
 			switch {
 			case errors.As(err, &nf):
 				writeError(w, http.StatusNotFound, "%v", err)
+			case errors.As(err, &be):
+				// The batch outran the request budget; by the maintenance
+				// atomicity contract nothing was applied. Retryable with a
+				// smaller batch or a larger -register-budget.
+				s.env.budgetExceeded.Add(1)
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
 			case errors.As(err, &pe):
 				// The deltas were applicable; writing the durable artifact
 				// failed (disk full, I/O error). A server fault, not a
@@ -492,7 +594,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var req RegisterRequest
-		if !decodeBody(w, r, &req) {
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
 		if req.ID == "" {
@@ -519,14 +621,31 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			}
 			shards = 1
 		}
+		release, reason, admitted := s.env.admit(req.ID)
+		if !admitted {
+			s.env.reject429(w, reason)
+			return
+		}
+		defer release()
+		ctx, cancel := s.workContext(r)
+		defer cancel()
 		var ds store.Dataset
 		var err error
 		if shards > 1 {
-			ds, err = shard.RegisterSharded(s.reg, req.ID, scheme, partitioner, shards, req.Data)
+			ds, err = shard.RegisterShardedContext(ctx, s.reg, req.ID, scheme, partitioner, shards, req.Data)
 		} else {
-			ds, err = s.reg.Register(req.ID, scheme, req.Data)
+			ds, err = s.reg.RegisterContext(ctx, req.ID, scheme, req.Data)
 		}
 		if err != nil {
+			var be *store.BudgetError
+			if errors.As(err, &be) {
+				// The build outran the request budget and was abandoned: no
+				// catalog entry, no snapshot handed out. Retryable with a
+				// larger -register-budget.
+				s.env.budgetExceeded.Add(1)
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
@@ -542,6 +661,16 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
+}
+
+// workContext derives the context a registration or PATCH runs under:
+// the request context (so a disconnected client cancels the work it
+// asked for) bounded by RegisterBudget when one is configured.
+func (s *Server) workContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if b := s.env.limits.RegisterBudget; b > 0 {
+		return context.WithTimeout(r.Context(), b)
+	}
+	return context.WithCancel(r.Context())
 }
 
 // lookup resolves a dataset — plain or sharded — for the answer paths.
@@ -564,9 +693,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	release, reason, admitted := s.env.admit(req.Dataset)
+	if !admitted {
+		s.env.reject429(w, reason)
+		return
+	}
+	defer release()
 	ds, ok := s.lookup(w, req.Dataset)
 	if !ok {
 		return
@@ -596,9 +731,23 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	if max := s.env.limits.MaxBatchQueries; len(req.Queries) > max {
+		// Same policy split as the body cap: a well-formed batch over the
+		// work limit is a 413 naming the limit, not a 400.
+		s.env.rejectedBatch413.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries exceeds the %d-query limit", len(req.Queries), max)
+		return
+	}
+	release, reason, admitted := s.env.admit(req.Dataset)
+	if !admitted {
+		s.env.reject429(w, reason)
+		return
+	}
+	defer release()
 	ds, ok := s.lookup(w, req.Dataset)
 	if !ok {
 		return
@@ -632,6 +781,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SnapshotLoads:   s.reg.LoadCount(),
 		MaintenanceNs:   s.maintenanceNs.Load(),
 		PerScheme:       map[string]schemeStats{},
+		Envelope:        s.env.stats(),
 	}
 	s.stats.Range(func(name, v interface{}) bool {
 		st := v.(*schemeCounters).snapshot()

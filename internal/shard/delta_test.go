@@ -8,6 +8,7 @@ package shard
 // sharded forms without delta routing.
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"strings"
@@ -280,7 +281,7 @@ func TestShardedEmptyBatchIsNoOp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := ss.ApplyDeltas(inc, nil, dir)
+	v, err := ss.ApplyDeltas(context.Background(), inc, nil, dir)
 	if err != nil || v != 0 {
 		t.Fatalf("empty batch: version %d, err %v (want 0, nil)", v, err)
 	}

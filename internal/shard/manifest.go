@@ -11,6 +11,7 @@ package shard
 // registry catalog never exposes a partial entry.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -395,6 +396,16 @@ func LoadSharded(dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
 // count) instead of re-preprocessing, and re-registering with anything
 // incompatible is an error rather than a silent swap.
 func RegisterSharded(r *store.Registry, id string, scheme *core.Scheme, p Partitioner, n int, data []byte) (*ShardedStore, error) {
+	return RegisterShardedContext(context.Background(), r, id, scheme, p, n, data)
+}
+
+// RegisterShardedContext is RegisterSharded under a request budget: when
+// ctx expires before the per-shard preprocessing completes the call
+// returns a *store.BudgetError and the build is abandoned (it finishes but
+// is not memoized — no catalog entry remains), exactly the
+// Registry.RegisterContext contract. The HTTP layer threads each sharded
+// registration's deadline through here.
+func RegisterShardedContext(ctx context.Context, r *store.Registry, id string, scheme *core.Scheme, p Partitioner, n int, data []byte) (*ShardedStore, error) {
 	if scheme == nil {
 		return nil, fmt.Errorf("shard: register %q: nil scheme", id)
 	}
@@ -410,7 +421,7 @@ func RegisterSharded(r *store.Registry, id string, scheme *core.Scheme, p Partit
 			id, scheme.Name(), ShardableSchemes())
 	}
 	sum := store.SumData(data)
-	ds, err := r.RegisterDataset(id,
+	ds, err := r.RegisterDatasetContext(ctx, id,
 		func(d store.Dataset) error {
 			if d.SchemeName() != scheme.Name() {
 				return fmt.Errorf("shard: dataset %q already registered with scheme %s (got %s)",

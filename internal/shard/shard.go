@@ -29,6 +29,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -475,9 +476,12 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 // point) before the in-memory commit. Any failure leaves the dataset, its
 // registry entry, and its persisted artifacts exactly as they were.
 //
+// ctx bounds the batch (checked before each delta and before the persist
+// step): a budget that expires mid-batch aborts with nothing applied.
+//
 // Schemes whose sharded form has no delta routing (SplitDelta == nil)
 // refuse cleanly; the HTTP layer surfaces that as a 409.
-func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
+func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
 	if ss.Sharding.SplitDelta == nil {
 		return ss.Version(), fmt.Errorf("shard: scheme %s has no sharded delta routing; re-register unsharded to maintain it",
 			ss.Scheme.Name())
@@ -526,6 +530,9 @@ func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte
 	}
 	touched := make([]bool, n)
 	for di, delta := range deltas {
+		if err := ctx.Err(); err != nil {
+			return oldVersion, fmt.Errorf("shard: delta %d: %w (nothing applied)", di, err)
+		}
 		locals, err := ss.Sharding.SplitDelta(delta, ss.Asn, sv)
 		if err != nil {
 			return oldVersion, fmt.Errorf("shard: delta %d: %w (nothing applied)", di, err)
@@ -558,6 +565,9 @@ func (ss *ShardedStore) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte
 		}
 	}
 	newVersion := oldVersion + uint64(len(deltas))
+	if err := ctx.Err(); err != nil {
+		return oldVersion, fmt.Errorf("shard: %w (nothing applied)", err)
+	}
 	if dir != "" {
 		if err := ss.saveMaintainedStaged(dir, pending, summary, newVersion); err != nil {
 			return oldVersion, &store.PersistError{Err: fmt.Errorf("shard: persist maintained snapshots: %w (nothing applied)", err)}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/url"
 	"path/filepath"
@@ -56,8 +58,11 @@ type DeltaDataset interface {
 	Dataset
 	// ApplyDeltas applies the deltas in order through the scheme's
 	// incremental form, persisting the maintained artifact under dir
-	// ("" = memory only), and returns the new maintenance version.
-	ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error)
+	// ("" = memory only), and returns the new maintenance version. ctx
+	// bounds the work: a deadline or cancellation between deltas aborts the
+	// whole batch with nothing applied (deltas are the cancellation
+	// granularity — a single delta application is never torn).
+	ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error)
 }
 
 // Registry maps dataset IDs to preprocessed datasets. Registering a dataset
@@ -96,6 +101,12 @@ type regEntry struct {
 	done chan struct{}
 	ds   Dataset
 	err  error
+	// abandoned (guarded by the registry mutex) marks a build whose
+	// admitting registration ran out of budget: the build finishes — it
+	// cannot be interrupted mid-Preprocess — but its result is dropped
+	// instead of memoized, so a budget-exceeded registration leaves no
+	// catalog entry.
+	abandoned bool
 }
 
 // NewRegistry returns a registry persisting snapshots under dir; dir == ""
@@ -152,14 +163,34 @@ func (r *Registry) snapshotPath(id string) string {
 // This is the generic seam plain Register and internal/shard's sharded
 // registration both ride: one catalog entry per ID, one build per ID, and
 // Get/Answer paths that never observe a half-built dataset.
-func (r *Registry) RegisterDataset(id string, compat func(Dataset) error, build func() (Dataset, error)) (ds Dataset, err error) {
+func (r *Registry) RegisterDataset(id string, compat func(Dataset) error, build func() (Dataset, error)) (Dataset, error) {
+	return r.RegisterDatasetContext(context.Background(), id, compat, build)
+}
+
+// RegisterDatasetContext is RegisterDataset under a request budget: when
+// ctx expires before the build completes, the call returns a *BudgetError
+// and the in-flight build is abandoned — it runs to completion (Preprocess
+// cannot be interrupted mid-flight) but its result is dropped instead of
+// memoized, so a budget-exceeded registration leaves no catalog entry and
+// the id stays free for a retried (or better-budgeted) attempt. A waiter
+// whose ctx expires while someone else's build is in flight gives up
+// without abandoning that build — the budget belongs to the registration
+// that started it.
+func (r *Registry) RegisterDatasetContext(ctx context.Context, id string, compat func(Dataset) error, build func() (Dataset, error)) (Dataset, error) {
 	if build == nil {
 		return nil, fmt.Errorf("store: register %q: nil build function", id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &BudgetError{Op: "register", ID: id, Err: err}
 	}
 	r.mu.Lock()
 	if e, ok := r.entries[id]; ok {
 		r.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, &BudgetError{Op: "register", ID: id, Err: ctx.Err()}
+		}
 		if e.err != nil {
 			return nil, e.err
 		}
@@ -174,28 +205,66 @@ func (r *Registry) RegisterDataset(id string, compat func(Dataset) error, build 
 	r.entries[id] = e
 	r.mu.Unlock()
 
-	// The deferred block must run even if build panics (a scheme Preprocess
-	// on hostile data can, e.g. makeslice out of range): otherwise e.done is
-	// never closed and every future Register/Get for this id blocks forever.
-	// The panic is converted to an error so one bad registration cannot
-	// wedge the dataset or kill a serving process.
+	go r.runBuild(e, id, build)
+	select {
+	case <-e.done:
+		return e.ds, e.err
+	case <-ctx.Done():
+		r.abandon(e, id)
+		return nil, &BudgetError{Op: "register", ID: id, Err: ctx.Err()}
+	}
+}
+
+// runBuild executes one registration's build and commits (or drops) its
+// result. The deferred block must run even if build panics (a scheme
+// Preprocess on hostile data can, e.g. makeslice out of range): otherwise
+// e.done is never closed and every future Register/Get for this id blocks
+// forever. The panic is converted to an error so one bad registration
+// cannot wedge the dataset or kill a serving process. The commit decision
+// (memoize vs drop) and close(e.done) happen under the registry mutex, so
+// it cannot race an abandon from the admitting registration's expired
+// budget.
+func (r *Registry) runBuild(e *regEntry, id string, build func() (Dataset, error)) {
 	defer func() {
 		if p := recover(); p != nil {
 			e.err = fmt.Errorf("store: register %q: build panicked: %v", id, p)
 		}
+		r.mu.Lock()
 		if e.err != nil {
 			// Failed registrations are not memoized: drop the entry so a
 			// later attempt (fixed data, fixed scheme) can retry.
 			e.ds = nil
-			r.mu.Lock()
 			delete(r.entries, id)
-			r.mu.Unlock()
+		} else if e.abandoned {
+			// The admitting registration ran out of budget: the result is
+			// dropped, not memoized. Waiters already blocked on e.done still
+			// receive the built dataset — only the catalog forgets it.
+			delete(r.entries, id)
 		}
 		close(e.done)
-		ds, err = e.ds, e.err
+		r.mu.Unlock()
 	}()
 	e.ds, e.err = build()
-	return e.ds, e.err
+}
+
+// abandon marks e's build as over budget. Under the registry mutex either
+// the build has not committed yet — the abandoned flag makes its commit
+// drop the entry — or it already has, in which case the entry is evicted
+// here, so in every interleaving the budget-exceeded registration leaves no
+// catalog entry.
+func (r *Registry) abandon(e *regEntry, id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-e.done:
+		if e.err == nil {
+			if cur, ok := r.entries[id]; ok && cur == e {
+				delete(r.entries, id)
+			}
+		}
+	default:
+		e.abandoned = true
+	}
 }
 
 // Register returns the preprocessed store for id, creating it on first
@@ -207,11 +276,20 @@ func (r *Registry) RegisterDataset(id string, compat func(Dataset) error, build 
 // error rather than a silent answer-path swap or a stale Π(D) served as
 // fresh.
 func (r *Registry) Register(id string, scheme *core.Scheme, data []byte) (*Store, error) {
+	return r.RegisterContext(context.Background(), id, scheme, data)
+}
+
+// RegisterContext is Register under a request budget: when ctx expires
+// before preprocessing completes the call returns a *BudgetError and the
+// build is abandoned — it finishes but is not memoized, so no catalog
+// entry remains (see RegisterDatasetContext). The HTTP layer threads each
+// registration request's deadline through here.
+func (r *Registry) RegisterContext(ctx context.Context, id string, scheme *core.Scheme, data []byte) (*Store, error) {
 	if scheme == nil {
 		return nil, fmt.Errorf("store: register %q: nil scheme", id)
 	}
 	sum := SumData(data)
-	ds, err := r.RegisterDataset(id,
+	ds, err := r.RegisterDatasetContext(ctx, id,
 		func(d Dataset) error {
 			if d.SchemeName() != scheme.Name() {
 				return fmt.Errorf("store: dataset %q already registered with scheme %s (got %s)",
@@ -287,6 +365,33 @@ type NotFoundError struct{ ID string }
 // Error implements error.
 func (e *NotFoundError) Error() string { return fmt.Sprintf("store: dataset %q not registered", e.ID) }
 
+// BudgetError reports a registration or maintenance call that ran out of
+// its request budget (context deadline or cancellation) before the work
+// committed. Nothing was committed under the caller's name: a
+// budget-exceeded registration leaves no catalog entry, a budget-exceeded
+// delta batch leaves the dataset, its version, and its snapshot untouched.
+// The HTTP layer maps it to 503 Service Unavailable where request-shaped
+// failures are 4xx — the request was well-formed, the server declined to
+// spend more time on it.
+type BudgetError struct {
+	// Op names the budgeted operation ("register" or "apply delta").
+	Op string
+	// ID is the dataset the operation addressed.
+	ID string
+	// Err is the context error that ended the budget (DeadlineExceeded or
+	// Canceled).
+	Err error
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("store: %s %q: request budget exceeded (%v)", e.Op, e.ID, e.Err)
+}
+
+// Unwrap exposes the context error, so errors.Is(err,
+// context.DeadlineExceeded) works through the wrapper.
+func (e *BudgetError) Unwrap() error { return e.Err }
+
 // PersistError reports that maintenance failed while writing the durable
 // artifact (snapshot or shard generation), not because of anything wrong
 // with the request — the deltas were applicable and nothing was committed.
@@ -317,6 +422,15 @@ func (e *PersistError) Unwrap() error { return e.Err }
 // observe a torn Π: answer paths snapshot the preprocessed string under a
 // read lock and the writer swaps it wholesale.
 func (r *Registry) ApplyDelta(id string, deltas [][]byte) (uint64, error) {
+	return r.ApplyDeltaContext(context.Background(), id, deltas)
+}
+
+// ApplyDeltaContext is ApplyDelta under a request budget: ctx is threaded
+// into the dataset's ApplyDeltas, which checks it between deltas — a batch
+// that runs past its deadline aborts with a *BudgetError and nothing
+// applied (the served Π, the version, and the snapshot are untouched). The
+// HTTP PATCH handler threads each request's deadline through here.
+func (r *Registry) ApplyDeltaContext(ctx context.Context, id string, deltas [][]byte) (uint64, error) {
 	ds, ok := r.GetDataset(id)
 	if !ok {
 		return 0, &NotFoundError{ID: id}
@@ -333,8 +447,15 @@ func (r *Registry) ApplyDelta(id string, deltas [][]byte) (uint64, error) {
 	if !ok {
 		return ds.Version(), fmt.Errorf("store: dataset %q does not support in-place maintenance", id)
 	}
-	v, err := dd.ApplyDeltas(inc, deltas, r.dir)
+	v, err := dd.ApplyDeltas(ctx, inc, deltas, r.dir)
 	if err != nil {
+		var be *BudgetError
+		if errors.As(err, &be) {
+			return v, err
+		}
+		if ce := ctx.Err(); ce != nil && errors.Is(err, ce) {
+			return v, &BudgetError{Op: "apply delta to", ID: id, Err: ce}
+		}
 		return v, fmt.Errorf("store: apply delta to %q: %w", id, err)
 	}
 	r.deltaCount.Add(int64(len(deltas)))

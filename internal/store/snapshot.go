@@ -21,6 +21,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -334,13 +335,18 @@ func (st *Store) Version() uint64 {
 // and a restart resumes from the maintained Π; a persist failure aborts
 // the whole batch.
 //
+// ctx bounds the batch: it is checked before each delta and before the
+// persist step, so a budget that expires mid-batch aborts with nothing
+// applied — individual delta applications are the cancellation granularity
+// and are never torn.
+//
 // Delta application and snapshot I/O run under the maintenance mutex only
 // — the reader-blocking write lock is taken just for the final pointer
 // swap, so concurrent queries never wait on maintenance work.
 //
 // Registry.ApplyDelta is the catalog-level entry point; it resolves inc by
 // scheme name and supplies its snapshot directory.
-func (st *Store) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
+func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
 	if inc == nil || inc.ApplyDelta == nil {
 		return st.Version(), fmt.Errorf("store: scheme %s has no incremental form", st.Scheme.Name())
 	}
@@ -355,11 +361,17 @@ func (st *Store) ApplyDeltas(inc *core.IncrementalScheme, deltas [][]byte, dir s
 	// maintMu is the only writer seam, so the view cannot move under us.
 	cur, oldVersion := st.View()
 	for i, delta := range deltas {
+		if err := ctx.Err(); err != nil {
+			return oldVersion, fmt.Errorf("store: delta %d: %w (nothing applied)", i, err)
+		}
 		next, err := inc.ApplyDelta(cur, delta)
 		if err != nil {
 			return oldVersion, fmt.Errorf("store: delta %d: %w (nothing applied)", i, err)
 		}
 		cur = next
+	}
+	if err := ctx.Err(); err != nil {
+		return oldVersion, fmt.Errorf("store: %w (nothing applied)", err)
 	}
 	newVersion := oldVersion + uint64(len(deltas))
 	if dir != "" {

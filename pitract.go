@@ -254,6 +254,20 @@ type (
 	// Server serves a StoreRegistry over an HTTP JSON API (see the pitract
 	// CLI's serve subcommand and examples/serve).
 	Server = server.Server
+	// ServerLimits configures a Server's serving envelope — body/batch
+	// caps, concurrency admission (429 + Retry-After), and registration/
+	// maintenance wall budgets (503, no catalog side effects). Install
+	// with Server.SetLimits; the CLI face is `pitract serve`'s -max-* and
+	// -register-budget flags.
+	ServerLimits = server.Limits
+	// ServerEnvelopeStats is the /v1/stats envelope block: the in-flight
+	// gauge, the active limits, and every rejection the envelope issued.
+	ServerEnvelopeStats = server.EnvelopeStats
+	// StoreBudgetError is the error a registry returns when a
+	// RegisterContext or ApplyDeltaContext call outruns its context: the
+	// work is abandoned (no catalog entry; nothing applied) and the id
+	// stays free for a retried attempt.
+	StoreBudgetError = store.BudgetError
 )
 
 var (
