@@ -101,6 +101,25 @@ func BenchmarkX7(b *testing.B) {
 
 func BenchmarkX7_Envelope(b *testing.B) { benchExperiment(b, "X7") }
 
+// BenchmarkX8 regenerates the observability-overhead experiment and
+// reports its headline numbers — the relative QPS cost of instrumentation
+// and the instrumented QPS — as benchmark metrics, so BENCH_ci.json tracks
+// what the metrics layer itself costs from this PR on.
+func BenchmarkX8(b *testing.B) {
+	var overheadPct, qps float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		overheadPct, qps, err = harness.X8OverheadMetrics(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(overheadPct, "obs-overhead-pct")
+	b.ReportMetric(qps, "instrumented-qps")
+}
+
+func BenchmarkX8_ObsOverhead(b *testing.B) { benchExperiment(b, "X8") }
+
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same
 // query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the

@@ -36,7 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -145,7 +148,8 @@ func cmdServe(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range] [-cache-bytes N]")
 		fmt.Fprintln(fs.Output(), "                     [-max-inflight N] [-max-inflight-dataset N] [-max-body-bytes N] [-max-batch N]")
-		fmt.Fprintln(fs.Output(), "                     [-register-budget D] [-retry-after D]")
+		fmt.Fprintln(fs.Output(), "                     [-register-budget D] [-retry-after D] [-log-level L] [-log-format F]")
+		fmt.Fprintln(fs.Output(), "                     [-slow-query-ms N] [-pprof-addr ADDR]")
 	}
 	addr := fs.String("addr", ":8080", "listen address")
 	data := fs.String("data", "", "snapshot directory for preprocessed stores (empty = in-memory only)")
@@ -158,6 +162,10 @@ func cmdServe(args []string) int {
 	maxBatch := fs.Int("max-batch", 0, "queries per /v1/query/batch request; larger batches get 413 (0 = the 4096 default)")
 	registerBudget := fs.Duration("register-budget", 0, "wall budget per registration or PATCH, e.g. 30s; over-budget work is abandoned with 503 (0 = none)")
 	retryAfter := fs.Duration("retry-after", 0, "delay advertised in 429 Retry-After headers (0 = the 1s default)")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, or error (debug logs every request)")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	slowQueryMs := fs.Int64("slow-query-ms", 0, "log requests slower than this many milliseconds at warn level (0 = no slow-query log)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on its own listener, e.g. localhost:6060 (empty = disabled)")
 	if code := parseArgs(fs, args); code >= 0 {
 		return code
 	}
@@ -173,11 +181,37 @@ func cmdServe(args []string) int {
 		"-max-inflight": int64(*maxInFlight), "-max-inflight-dataset": int64(*maxInFlightDS),
 		"-max-body-bytes": *maxBodyBytes, "-max-batch": int64(*maxBatch),
 		"-register-budget": int64(*registerBudget), "-retry-after": int64(*retryAfter),
+		"-slow-query-ms": *slowQueryMs,
 	} {
 		if v < 0 {
 			fmt.Fprintf(os.Stderr, "pitract serve: %s: want a non-negative value\n", name)
 			return 2
 		}
+	}
+	var level slog.Level
+	switch *logLevel {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "pitract serve: -log-level %q: want debug, info, warn, or error\n", *logLevel)
+		return 2
+	}
+	handlerOpts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, handlerOpts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, handlerOpts)
+	default:
+		fmt.Fprintf(os.Stderr, "pitract serve: -log-format %q: want text or json\n", *logFormat)
+		return 2
 	}
 
 	reg := pitract.NewStoreRegistry(*data)
@@ -197,12 +231,34 @@ func cmdServe(args []string) int {
 		RegisterBudget:        *registerBudget,
 		RetryAfter:            *retryAfter,
 	})
+	srv.SetLogger(slog.New(handler))
+	srv.SetSlowQueryThreshold(time.Duration(*slowQueryMs) * time.Millisecond)
 	// Bind before announcing, so the "listening" line means the port is
 	// live (and reports the real port when -addr ends in :0).
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)
 		return 1
+	}
+	// pprof rides its own off-by-default listener with an explicit mux, so
+	// the profiling surface never shares a port (or an accidental
+	// DefaultServeMux registration) with the query API.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(os.Stderr, "pitract serve: -pprof-addr: %v\n", err)
+			return 1
+		}
+		defer pln.Close()
+		go http.Serve(pln, pm)
+		fmt.Printf("pitract serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	persistence := "in-memory only (no -data directory)"
 	if *data != "" {
@@ -225,7 +281,7 @@ func cmdServe(args []string) int {
 	sort.Strings(schemes)
 	fmt.Printf("pitract serve: listening on %s, %s\n", ln.Addr(), persistence)
 	fmt.Printf("  schemes: %s\n", strings.Join(schemes, ", "))
-	fmt.Printf("  POST /v1/datasets · GET /v1/datasets · GET/PATCH /v1/datasets/{id} · POST /v1/query · POST /v1/query/batch · GET /v1/stats · GET /healthz\n")
+	fmt.Printf("  POST /v1/datasets · GET /v1/datasets · GET/PATCH /v1/datasets/{id} · POST /v1/query · POST /v1/query/batch · GET /v1/stats · GET /metrics · GET /healthz\n")
 
 	// Graceful shutdown: SIGINT/SIGTERM drains in-flight requests.
 	sigCh := make(chan os.Signal, 1)
@@ -305,7 +361,9 @@ usage:
   pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]
                 [-cache-bytes N] [-max-inflight N] [-max-inflight-dataset N]
                 [-max-body-bytes N] [-max-batch N] [-register-budget D]
-                [-retry-after D]            serve preprocessed stores over HTTP
+                [-retry-after D] [-log-level L] [-log-format F]
+                [-slow-query-ms N] [-pprof-addr ADDR]
+                                            serve preprocessed stores over HTTP
 
 running in parallel:
   X1 races the goroutine-parallel PRAM executor against the sequential
@@ -334,5 +392,16 @@ serving:
   that outrun their wall budget with 503 and no catalog side effects.
   Rejection counters and the in-flight gauge appear in /v1/stats. See
   docs/ARCHITECTURE.md and docs/API.md.
+
+observability:
+  Every serve-path stage (admission, cache lookup, shard fan-out/merge,
+  preprocess, snapshot I/O, PATCH apply/persist) records into lock-free
+  latency histograms exposed three ways: GET /metrics renders Prometheus
+  text exposition (never metered by the envelope), GET /v1/stats reports
+  per-scheme and per-stage percentiles plus uptime and build info, and
+  structured request logs on stderr carry the X-Request-ID of every
+  request (-log-level debug logs each request; -slow-query-ms N warns on
+  slow ones; -log-format picks text or json). -pprof-addr serves
+  net/http/pprof on its own listener, off by default.
 `)
 }

@@ -19,6 +19,9 @@ func TestExitCodes(t *testing.T) {
 		{"serve-bad-partitioner", []string{"serve", "-shards", "2", "-partitioner", "zodiac"}, 2},
 		{"serve-shards-over-cap", []string{"serve", "-shards", "100000"}, 2},
 		{"serve-negative-cache", []string{"serve", "-cache-bytes", "-1"}, 2},
+		{"serve-bad-log-level", []string{"serve", "-log-level", "loud"}, 2},
+		{"serve-bad-log-format", []string{"serve", "-log-format", "xml"}, 2},
+		{"serve-negative-slow-query", []string{"serve", "-slow-query-ms", "-5"}, 2},
 		{"list-extra-args", []string{"list", "stray"}, 2},
 		{"serve-extra-args", []string{"serve", "stray"}, 2},
 		{"run-no-ids", []string{"run"}, 2},

@@ -9,6 +9,7 @@ package pitract_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -234,7 +235,11 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	rawStats, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var stats struct {
 		Datasets        int   `json:"datasets"`
 		PreprocessCalls int64 `json:"preprocess_calls"`
@@ -267,7 +272,7 @@ func TestAPIDocMatchesServer(t *testing.T) {
 			BudgetBytes int64 `json:"budget_bytes"`
 		} `json:"cache"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	if err := json.Unmarshal(rawStats, &stats); err != nil {
 		t.Fatalf("stats response does not match the documented shape: %v", err)
 	}
 	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 6 {
@@ -302,8 +307,75 @@ func TestAPIDocMatchesServer(t *testing.T) {
 		t.Fatalf("envelope rejections diverge from the documented example: %+v", env)
 	}
 
+	// The process-identity fields documented next to the counters.
+	var identity struct {
+		UptimeS float64 `json:"uptime_s"`
+		Build   struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(rawStats, &identity); err != nil {
+		t.Fatal(err)
+	}
+	if identity.UptimeS <= 0 || identity.Build.GoVersion == "" {
+		t.Fatalf("uptime/build diverge from the documented shape: %+v", identity)
+	}
+
+	// The request-ID example: a client-supplied X-Request-ID is echoed in
+	// the header and repeated in the error body, exactly as documented.
+	wantIDBody := `{"error":"dataset \"ghost\" not registered","request_id":"doc-1"}`
+	if !strings.Contains(doc, wantIDBody) {
+		t.Errorf("docs/API.md does not contain the documented request-ID response body %s", wantIDBody)
+	}
+	idReq, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/datasets/ghost", strings.NewReader(`{"deltas":["ARI="]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idReq.Header.Set("X-Request-ID", "doc-1")
+	idResp, err := client.Do(idReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idBody, _ := io.ReadAll(idResp.Body)
+	idResp.Body.Close()
+	if idResp.StatusCode != http.StatusNotFound || strings.TrimSpace(string(idBody)) != wantIDBody {
+		t.Fatalf("request-ID example diverged from docs/API.md:\n got: %d %s\nwant: 404 %s", idResp.StatusCode, idBody, wantIDBody)
+	}
+	if got := idResp.Header.Get("X-Request-ID"); got != "doc-1" {
+		t.Fatalf("X-Request-ID header %q, want the echoed %q", got, "doc-1")
+	}
+
+	// /metrics: the documented content type, conformant exposition, and the
+	// documented metric families.
+	mResp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	if mResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", mResp.StatusCode)
+	}
+	if ct := mResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET /metrics content type %q diverges from the documented one", ct)
+	}
+	if err := pitract.CheckExposition(exposition); err != nil {
+		t.Fatalf("GET /metrics is not conformant text exposition: %v", err)
+	}
+	for _, family := range []string{
+		"pitract_stage_duration_seconds", "pitract_answer_duration_seconds",
+		"pitract_requests_in_flight", "pitract_preprocess_total",
+	} {
+		if !strings.Contains(doc, family) {
+			t.Errorf("docs/API.md does not document the metric family %s", family)
+		}
+		if !strings.Contains(string(exposition), family) {
+			t.Errorf("GET /metrics does not expose the documented family %s", family)
+		}
+	}
+
 	// Every endpoint the server registers must be documented.
-	for _, endpoint := range []string{"/healthz", "/v1/datasets", "/v1/datasets/{id}", "/v1/query", "/v1/query/batch", "/v1/stats"} {
+	for _, endpoint := range []string{"/healthz", "/v1/datasets", "/v1/datasets/{id}", "/v1/query", "/v1/query/batch", "/v1/stats", "/metrics"} {
 		if !strings.Contains(doc, endpoint) {
 			t.Errorf("docs/API.md does not document %s", endpoint)
 		}

@@ -1,6 +1,6 @@
 // Package harness regenerates every figure, example and case study of the
 // paper as a measured table. Each experiment has an id (E1, E3, F1…F2,
-// C1…C12, T5, T9, L2, P10, A1…A3, X1…X7) matching DESIGN.md's
+// C1…C12, T5, T9, L2, P10, A1…A3, X1…X8) matching DESIGN.md's
 // per-experiment index, a
 // generator that runs the workload at several sizes, and — where the paper
 // makes a growth claim — a fitted growth label from core.Classify.
@@ -219,6 +219,7 @@ func All() []Experiment {
 		{"X5", "incremental serving: PATCH-maintained Π(D ⊕ ∆D) vs re-registering", X5IncrementalServing},
 		{"X6", "hot-path answer cache: cached vs uncached QPS over hot/zipf/cold mixes", X6HotPath},
 		{"X7", "serving envelope under load: admission, backpressure, admitted-tail latency", X7Envelope},
+		{"X8", "observability overhead: instrumented vs uninstrumented serve path", X8ObsOverhead},
 	}
 }
 

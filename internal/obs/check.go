@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition parses a Prometheus text-exposition payload and verifies
+// format conformance: every line lexes, every sample is preceded by HELP and
+// TYPE lines for its family, metric and label names are legal, label values
+// use only the legal escapes, and every histogram series has cumulative
+// non-decreasing buckets terminated by le="+Inf" whose value equals the
+// series' _count. It exists so conformance tests and live smoke checks can
+// validate /metrics without a Prometheus dependency.
+func CheckExposition(data []byte) error {
+	helped := map[string]bool{}
+	typed := map[string]string{}
+
+	type bucketState struct {
+		lastLe  float64
+		started bool
+		infVal  int64
+		sawInf  bool
+		count   int64
+		sawCnt  bool
+		sawSum  bool
+	}
+	hists := map[string]*bucketState{}
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseCommentLine(line)
+			if !ok {
+				continue // free-form comment
+			}
+			switch kind {
+			case "HELP":
+				helped[name] = true
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, rest, name)
+				}
+				typed[name] = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if !helped[base] {
+			return fmt.Errorf("line %d: sample %q has no preceding # HELP %s", lineNo, name, base)
+		}
+		t, ok := typed[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE %s", lineNo, name, base)
+		}
+		if t != "histogram" {
+			continue
+		}
+
+		key := base + "\x00" + labelFingerprint(labels, "le")
+		st := hists[key]
+		if st == nil {
+			st = &bucketState{}
+			hists[key] = st
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %q missing le label", lineNo, name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le value %q: %v", lineNo, leStr, err)
+			}
+			if st.started && le <= st.lastLe {
+				return fmt.Errorf("line %d: bucket bounds not increasing (%v after %v)", lineNo, le, st.lastLe)
+			}
+			cum := int64(value)
+			if st.started && cum < st.infVal {
+				return fmt.Errorf("line %d: bucket counts not cumulative (%d after %d)", lineNo, cum, st.infVal)
+			}
+			st.lastLe, st.infVal, st.started = le, cum, true
+			if math.IsInf(le, +1) {
+				st.sawInf = true
+			}
+		case strings.HasSuffix(name, "_count"):
+			st.count, st.sawCnt = int64(value), true
+		case strings.HasSuffix(name, "_sum"):
+			st.sawSum = true
+		default:
+			return fmt.Errorf("line %d: bare sample %q inside histogram family %q", lineNo, name, base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := hists[k]
+		fam := k[:strings.IndexByte(k, 0)]
+		if !st.sawInf {
+			return fmt.Errorf("histogram %q: buckets not terminated by le=\"+Inf\"", fam)
+		}
+		if !st.sawCnt || !st.sawSum {
+			return fmt.Errorf("histogram %q: missing _count or _sum series", fam)
+		}
+		if st.count != st.infVal {
+			return fmt.Errorf("histogram %q: +Inf bucket %d != count %d", fam, st.infVal, st.count)
+		}
+	}
+	return nil
+}
+
+// parseCommentLine splits "# HELP name text" / "# TYPE name kind" lines.
+func parseCommentLine(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if !validMetricName(fields[2]) {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSampleLine lexes one `name{labels} value` line.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		rest, err = parseLabelSet(rest[1:], labels)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Tolerate an optional trailing timestamp.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		if _, terr := strconv.ParseInt(rest[sp+1:], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("trailing garbage %q", rest[sp+1:])
+		}
+		rest = rest[:sp]
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabelSet consumes `key="value",...}` (the input starts just past the
+// opening brace) and returns what follows the closing brace. Label values
+// must use only the legal escapes: \\, \", \n.
+func parseLabelSet(s string, out map[string]string) (rest string, err error) {
+	for {
+		if s == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return "", fmt.Errorf("malformed label in %q", s)
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return "", fmt.Errorf("label %q value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return "", fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("illegal escape \\%c in label %q", s[1], key)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		out[key] = val.String()
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+		default:
+			return "", fmt.Errorf("expected ',' or '}' after label %q", key)
+		}
+	}
+}
+
+// labelFingerprint canonicalizes a label map, skipping one excluded key.
+func labelFingerprint(labels map[string]string, except string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == except {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0)
+		b.WriteString(labels[k])
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,42 @@
+package obs
+
+// Family names rendered by the Default registry. Every serve-path stage
+// records into one histogram family keyed by a stage label; per-scheme
+// answer latency gets its own family keyed by scheme so /v1/stats can
+// report percentiles next to the existing per-scheme totals.
+const (
+	StageFamily  = "pitract_stage_duration_seconds"
+	AnswerFamily = "pitract_answer_duration_seconds"
+)
+
+// Stage label values. One constant per instrumented serve-path stage; the
+// instrumenting packages hold the returned *Histogram in package-level vars
+// so the registry lookup happens once per process, not per request.
+const (
+	StageAdmission    = "admission"     // envelope admission wait + decision
+	StageCacheHit     = "cache_hit"     // answer served from the version-keyed cache (incl. coalesced waits)
+	StageCacheMiss    = "cache_miss"    // cache miss: underlying answer computed and inserted
+	StageShardFanout  = "shard_fanout"  // cross-shard fan-out of one query to every shard store
+	StageShardMerge   = "shard_merge"   // scheme-specific merge of per-shard verdicts
+	StagePreprocess   = "preprocess"    // scheme Preprocess during registration or rebuild
+	StageSnapshotLoad = "snapshot_load" // reading + verifying a Π snapshot from disk
+	StageSnapshotSave = "snapshot_save" // atomic snapshot write (including fsync)
+	StageWarm         = "warm"          // decoding Π into its prepared in-memory form
+	StagePatchApply   = "patch_apply"   // incremental ApplyDelta over a PATCH batch
+	StagePatchPersist = "patch_persist" // re-snapshotting the maintained Π after a PATCH
+)
+
+// Stage returns the Default-registry histogram for one serve-path stage.
+func Stage(name string) *Histogram {
+	return Default.Histogram(StageFamily,
+		"Latency of each internal serve-path stage, labeled by stage.",
+		Label{Key: "stage", Value: name})
+}
+
+// AnswerHistogram returns the Default-registry per-scheme answer-latency
+// histogram feeding the /v1/stats percentile columns.
+func AnswerHistogram(scheme string) *Histogram {
+	return Default.Histogram(AnswerFamily,
+		"End-to-end answer latency of the query handlers, labeled by scheme.",
+		Label{Key: "scheme", Value: scheme})
+}

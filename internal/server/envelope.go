@@ -18,10 +18,18 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pitract/internal/obs"
 )
+
+// obsAdmission times every admission decision (wait + verdict); the
+// envelope's try-acquire design means waits are bounded by lock contention,
+// and this histogram is what proves that stays true under load.
+var obsAdmission = obs.Stage(obs.StageAdmission)
 
 // Default envelope limits: wide enough that every existing workload in
 // this repository is unaffected, finite enough that no single request can
@@ -119,6 +127,36 @@ type EnvelopeStats struct {
 	// BudgetExceeded counts registrations and PATCHes abandoned with 503
 	// after outrunning RegisterBudget.
 	BudgetExceeded int64 `json:"budget_exceeded"`
+	// PerEndpoint breaks the rejection counters down by endpoint (the
+	// dataset subresource is collapsed to "/v1/datasets/{id}"). Absent until
+	// the first rejection, so the zero-traffic stats block stays compact.
+	PerEndpoint map[string]EndpointRejections `json:"per_endpoint,omitempty"`
+}
+
+// EndpointRejections is one endpoint's slice of the envelope rejection
+// counters (see EnvelopeStats for what each counts).
+type EndpointRejections struct {
+	Rejected429      int64 `json:"rejected_429,omitempty"`
+	RejectedBody413  int64 `json:"rejected_body_413,omitempty"`
+	RejectedBatch413 int64 `json:"rejected_batch_413,omitempty"`
+	BudgetExceeded   int64 `json:"budget_exceeded,omitempty"`
+}
+
+// endpointCounters is the live (atomic) form of EndpointRejections.
+type endpointCounters struct {
+	rejected429      atomic.Int64
+	rejectedBody413  atomic.Int64
+	rejectedBatch413 atomic.Int64
+	budgetExceeded   atomic.Int64
+}
+
+// endpointLabel collapses a request path to its endpoint identity, so the
+// per-endpoint map cannot be grown unboundedly by per-dataset paths.
+func endpointLabel(path string) string {
+	if strings.HasPrefix(path, "/v1/datasets/") && path != "/v1/datasets/" {
+		return "/v1/datasets/{id}"
+	}
+	return path
 }
 
 // envelope enforces Limits: non-blocking admission against a global and a
@@ -142,11 +180,47 @@ type envelope struct {
 	rejectedBody413  atomic.Int64
 	rejectedBatch413 atomic.Int64
 	budgetExceeded   atomic.Int64
+
+	// byEndpoint maps an endpointLabel to its *endpointCounters. Entries are
+	// created only on a rejection, so the map stays empty (and invisible in
+	// /v1/stats) on a healthy node, and endpointLabel bounds its cardinality.
+	byEndpoint sync.Map
 }
 
 // newEnvelope returns an envelope enforcing l (with defaults resolved).
 func newEnvelope(l Limits) *envelope {
 	return &envelope{limits: l.withDefaults(), perDataset: map[string]int{}}
+}
+
+// endpoint returns the counters for one endpoint label, creating them on
+// first rejection.
+func (ev *envelope) endpoint(label string) *endpointCounters {
+	if v, ok := ev.byEndpoint.Load(label); ok {
+		return v.(*endpointCounters)
+	}
+	v, _ := ev.byEndpoint.LoadOrStore(label, &endpointCounters{})
+	return v.(*endpointCounters)
+}
+
+// noteBody413 counts one oversized-body refusal, globally and against r's
+// endpoint.
+func (ev *envelope) noteBody413(r *http.Request) {
+	ev.rejectedBody413.Add(1)
+	ev.endpoint(endpointLabel(r.URL.Path)).rejectedBody413.Add(1)
+}
+
+// noteBatch413 counts one oversized-batch refusal, globally and against
+// r's endpoint.
+func (ev *envelope) noteBatch413(r *http.Request) {
+	ev.rejectedBatch413.Add(1)
+	ev.endpoint(endpointLabel(r.URL.Path)).rejectedBatch413.Add(1)
+}
+
+// noteBudget counts one budget-exceeded 503, globally and against r's
+// endpoint.
+func (ev *envelope) noteBudget(r *http.Request) {
+	ev.budgetExceeded.Add(1)
+	ev.endpoint(endpointLabel(r.URL.Path)).budgetExceeded.Add(1)
 }
 
 // admit tries to admit one work request against dataset (may be "" for
@@ -155,6 +229,7 @@ func newEnvelope(l Limits) *envelope {
 // ok=false with the human-readable reason for the 429 body; nothing is
 // held.
 func (ev *envelope) admit(dataset string) (release func(), reason string, ok bool) {
+	defer obsAdmission.Since(obs.Start())
 	n := ev.inFlight.Add(1)
 	if max := ev.limits.MaxInFlight; max > 0 && n > int64(max) {
 		ev.inFlight.Add(-1)
@@ -197,15 +272,30 @@ func (ev *envelope) retryAfterSeconds() int {
 
 // reject429 writes the backpressure response: 429 Too Many Requests with
 // the Retry-After header and the reason in the error body, and counts it.
-func (ev *envelope) reject429(w http.ResponseWriter, reason string) {
+func (ev *envelope) reject429(w http.ResponseWriter, r *http.Request, reason string) {
 	ev.rejected429.Add(1)
+	ev.endpoint(endpointLabel(r.URL.Path)).rejected429.Add(1)
 	secs := ev.retryAfterSeconds()
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, http.StatusTooManyRequests, "%s; retry after %ds", reason, secs)
+	writeError(w, r, http.StatusTooManyRequests, "%s; retry after %ds", reason, secs)
 }
 
 // stats snapshots the envelope for /v1/stats.
 func (ev *envelope) stats() EnvelopeStats {
+	var per map[string]EndpointRejections
+	ev.byEndpoint.Range(func(k, v any) bool {
+		if per == nil {
+			per = map[string]EndpointRejections{}
+		}
+		c := v.(*endpointCounters)
+		per[k.(string)] = EndpointRejections{
+			Rejected429:      c.rejected429.Load(),
+			RejectedBody413:  c.rejectedBody413.Load(),
+			RejectedBatch413: c.rejectedBatch413.Load(),
+			BudgetExceeded:   c.budgetExceeded.Load(),
+		}
+		return true
+	})
 	return EnvelopeStats{
 		InFlight:              ev.inFlight.Load(),
 		MaxInFlight:           ev.limits.MaxInFlight,
@@ -217,5 +307,6 @@ func (ev *envelope) stats() EnvelopeStats {
 		RejectedBody413:       ev.rejectedBody413.Load(),
 		RejectedBatch413:      ev.rejectedBatch413.Load(),
 		BudgetExceeded:        ev.budgetExceeded.Load(),
+		PerEndpoint:           per,
 	}
 }

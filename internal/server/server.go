@@ -16,9 +16,14 @@
 //	                            place through the scheme's incremental form
 //	POST  /v1/query             answer one query
 //	POST  /v1/query/batch       answer a batch through the worker pool
-//	GET   /v1/stats             per-scheme query counts and latency totals,
-//	                            deltas applied and maintenance latency, and
-//	                            answer-cache counters when a cache is set
+//	GET   /v1/stats             per-scheme query counts, latency totals and
+//	                            percentiles, deltas applied and maintenance
+//	                            latency, per-stage latency percentiles,
+//	                            uptime and build info, and answer-cache
+//	                            counters when a cache is set
+//	GET   /metrics              Prometheus text exposition of every stage
+//	                            histogram, counter, and gauge (never metered
+//	                            by the serving envelope)
 //
 // Data, queries, and deltas travel base64-encoded (encoding/json's []byte
 // rule), so the wire format is exactly the library's byte-string instance
@@ -46,9 +51,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,6 +66,7 @@ import (
 
 	"pitract/internal/cache"
 	"pitract/internal/core"
+	"pitract/internal/obs"
 	"pitract/internal/schemes"
 	"pitract/internal/shard"
 	"pitract/internal/store"
@@ -88,11 +97,22 @@ func Catalog() map[string]*core.Scheme {
 // server-side bound one request could demand a goroutine per query.
 const maxBatchParallelism = 256
 
-// schemeStats is the wire form of one scheme's serving counters.
+// schemeStats is the wire form of one scheme's serving counters. The
+// percentile columns are estimated from the scheme's answer-latency
+// histogram (see internal/obs) and are zero until something is recorded —
+// including when metrics are disabled.
 type schemeStats struct {
-	Queries   int64 `json:"queries"`
-	Errors    int64 `json:"errors"`
-	LatencyNs int64 `json:"latency_ns"`
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
+	// QueriesFailed counts queries that were admitted but not answered: 1
+	// per failed single query, the whole batch for a failed batch (answer
+	// errors fail fast and return no verdicts).
+	QueriesFailed int64 `json:"queries_failed"`
+	LatencyNs     int64 `json:"latency_ns"`
+	P50Ns         int64 `json:"p50_ns"`
+	P90Ns         int64 `json:"p90_ns"`
+	P99Ns         int64 `json:"p99_ns"`
+	P999Ns        int64 `json:"p999_ns"`
 }
 
 // schemeCounters accumulates one scheme's serving counters. The fields are
@@ -102,16 +122,29 @@ type schemeStats struct {
 type schemeCounters struct {
 	queries   atomic.Int64
 	errors    atomic.Int64
+	failed    atomic.Int64
 	latencyNs atomic.Int64
+	// hist is the scheme's answer-latency histogram in the obs.Default
+	// registry — looked up once when the counters are created, observed
+	// per answered call.
+	hist *obs.Histogram
 }
 
 // snapshot renders the counters for the wire.
 func (c *schemeCounters) snapshot() schemeStats {
-	return schemeStats{
-		Queries:   c.queries.Load(),
-		Errors:    c.errors.Load(),
-		LatencyNs: c.latencyNs.Load(),
+	st := schemeStats{
+		Queries:       c.queries.Load(),
+		Errors:        c.errors.Load(),
+		QueriesFailed: c.failed.Load(),
+		LatencyNs:     c.latencyNs.Load(),
 	}
+	if snap := c.hist.Snapshot(); snap.Count > 0 {
+		st.P50Ns = snap.Quantile(0.50).Nanoseconds()
+		st.P90Ns = snap.Quantile(0.90).Nanoseconds()
+		st.P99Ns = snap.Quantile(0.99).Nanoseconds()
+		st.P999Ns = snap.Quantile(0.999).Nanoseconds()
+	}
+	return st
 }
 
 // maxShards caps the client-supplied shard count: each shard costs a
@@ -152,6 +185,19 @@ type Server struct {
 	// control, and request budgets (see Limits and SetLimits). Never nil.
 	env *envelope
 
+	// root is the handler the listener serves: the observability middleware
+	// (request-ID assignment, optional request/slow-query logging) wrapped
+	// around mux. Never nil.
+	root http.Handler
+	// startTime anchors the uptime_s stats field.
+	startTime time.Time
+	// logger, when non-nil, receives one structured line per request (and
+	// slow-query warnings past slowQuery). Set before serving traffic.
+	logger *slog.Logger
+	// slowQuery is the threshold past which a request is logged at Warn;
+	// 0 disables the slow-query log. Set before serving traffic.
+	slowQuery time.Duration
+
 	// httpSrv is created in New so Shutdown always has a target, even when
 	// it races the start of Serve (http.Server.Shutdown before Serve makes
 	// the later Serve return ErrServerClosed immediately).
@@ -165,9 +211,10 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 		catalog = Catalog()
 	}
 	s := &Server{
-		reg:     reg,
-		catalog: catalog,
-		mux:     http.NewServeMux(),
+		reg:       reg,
+		catalog:   catalog,
+		mux:       http.NewServeMux(),
+		startTime: time.Now(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
@@ -175,11 +222,34 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	// /metrics renders the process-wide obs.Default registry; like the other
+	// observability endpoints it is never metered by the envelope, so the
+	// node stays scrapeable under saturation.
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.env = newEnvelope(Limits{})
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.root = s.withObservability(s.mux)
+	s.httpSrv = &http.Server{Handler: s.root}
 	s.applyTimeouts()
+	// The in-flight gauge reads the envelope at scrape time — zero hot-path
+	// cost. The registry is process-wide, so the most recently constructed
+	// Server owns the callback (one server per process in production).
+	obs.Default.GaugeFunc("pitract_requests_in_flight",
+		"Work requests currently admitted by the serving envelope.",
+		func() int64 { return s.env.inFlight.Load() })
 	return s
 }
+
+// SetLogger installs a structured logger: one Debug line per request plus
+// Warn lines for requests past the slow-query threshold. nil (the default)
+// disables request logging. Set it before serving traffic — the server
+// face of `pitract serve -log-level/-log-format`.
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+// SetSlowQueryThreshold sets the latency past which a request is logged at
+// Warn through the logger installed with SetLogger; 0 (the default)
+// disables the slow-query log. Set it before serving traffic — the server
+// face of `pitract serve -slow-query-ms`.
+func (s *Server) SetSlowQueryThreshold(d time.Duration) { s.slowQuery = d }
 
 // SetLimits installs the serving envelope — body/batch caps, concurrency
 // admission, request budgets, and the Retry-After advertisement — and
@@ -282,11 +352,12 @@ func (s *Server) SetDefaultSharding(shards int, partitioner string) error {
 	return nil
 }
 
-// Handler returns the HTTP handler (for httptest and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (for httptest and embedding), including
+// the observability middleware.
+func (s *Server) Handler() http.Handler { return s.root }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.root.ServeHTTP(w, r) }
 
 // Serve accepts connections on l until Shutdown. It is the blocking core
 // of ListenAndServe, split out so callers can listen on ":0" and learn the
@@ -400,12 +471,99 @@ type CacheStats struct {
 	BudgetBytes int64 `json:"budget_bytes"`
 }
 
+// BuildInfo identifies the running binary: the toolchain version plus the
+// module version and VCS revision when the binary was built from a
+// version-controlled checkout (empty otherwise).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoVal  BuildInfo
+)
+
+// buildInfo reads the binary's build metadata once per process.
+func buildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfoVal = BuildInfo{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildInfoVal.GoVersion = bi.GoVersion
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			buildInfoVal.Version = v
+		}
+		for _, set := range bi.Settings {
+			switch set.Key {
+			case "vcs.revision":
+				buildInfoVal.Revision = set.Value
+			case "vcs.modified":
+				buildInfoVal.Dirty = set.Value == "true"
+			}
+		}
+	})
+	return buildInfoVal
+}
+
+// stageStats is the wire form of one serve-path stage's latency histogram
+// in the /v1/stats "stages" block.
+type stageStats struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+}
+
+// stageStatsSnapshot renders every stage histogram with observations. The
+// registry is process-wide, so the counts aggregate across every Server in
+// the process (one server per process in production).
+func stageStatsSnapshot() map[string]stageStats {
+	series := obs.Default.HistogramSeries(obs.StageFamily)
+	var m map[string]stageStats
+	for _, se := range series {
+		var name string
+		for _, l := range se.Labels {
+			if l.Key == "stage" {
+				name = l.Value
+			}
+		}
+		if name == "" || se.Snapshot.Count == 0 {
+			continue
+		}
+		if m == nil {
+			m = map[string]stageStats{}
+		}
+		m[name] = stageStats{
+			Count:  se.Snapshot.Count,
+			MeanNs: se.Snapshot.Mean().Nanoseconds(),
+			P50Ns:  se.Snapshot.Quantile(0.50).Nanoseconds(),
+			P90Ns:  se.Snapshot.Quantile(0.90).Nanoseconds(),
+			P99Ns:  se.Snapshot.Quantile(0.99).Nanoseconds(),
+			P999Ns: se.Snapshot.Quantile(0.999).Nanoseconds(),
+		}
+	}
+	return m
+}
+
 // StatsResponse reports serving counters since process start.
 type StatsResponse struct {
 	Datasets        int   `json:"datasets"`
 	PreprocessCalls int64 `json:"preprocess_calls"`
 	SnapshotLoads   int64 `json:"snapshot_loads"`
 	Queries         int64 `json:"queries"`
+	// UptimeS is the seconds since the Server was constructed; Build
+	// identifies the binary serving the stats.
+	UptimeS float64   `json:"uptime_s"`
+	Build   BuildInfo `json:"build"`
 	// DeltasApplied counts deltas committed through PATCH; MaintenanceNs
 	// sums the wall time spent applying them (incremental maintenance plus
 	// snapshot rewriting).
@@ -420,10 +578,18 @@ type StatsResponse struct {
 	// Cache carries the answer cache counters; absent when no cache is
 	// configured (see Server.SetAnswerCache and `pitract serve -cache-bytes`).
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Stages reports per-stage latency percentiles from the serve-path
+	// histograms (the JSON face of the /metrics stage family); absent until
+	// a stage has recorded an observation (e.g. while metrics are disabled).
+	Stages map[string]stageStats `json:"stages,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the client's X-Request-ID, so an error body can be
+	// matched to the client's own trace. Only set when the client supplied
+	// one — generated ids travel in the response header alone.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // --- handlers -----------------------------------------------------------------
@@ -434,8 +600,12 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
+	resp := errorResponse{Error: fmt.Sprintf(format, args...)}
+	if id, fromClient := clientRequestID(r); fromClient {
+		resp.RequestID = id
+	}
+	writeJSON(w, status, resp)
 }
 
 // decodeBody decodes a JSON request body under the envelope's byte cap.
@@ -448,12 +618,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.env.rejectedBody413.Add(1)
-			writeError(w, http.StatusRequestEntityTooLarge,
+			s.env.noteBody413(r)
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				"request body exceeds the %d-byte limit", mbe.Limit)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -461,7 +631,7 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -492,12 +662,12 @@ func (s *Server) handleDatasetByID(w http.ResponseWriter, r *http.Request) {
 	rawID := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/datasets/")
 	id, err := url.PathUnescape(rawID)
 	if err != nil || id == "" || strings.Contains(rawID, "/") {
-		writeError(w, http.StatusNotFound, "bad dataset path %q", r.URL.Path)
+		writeError(w, r, http.StatusNotFound, "bad dataset path %q", r.URL.Path)
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
-		ds, ok := s.lookup(w, id)
+		ds, ok := s.lookup(w, r, id)
 		if !ok {
 			return
 		}
@@ -508,16 +678,16 @@ func (s *Server) handleDatasetByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(req.Deltas) == 0 {
-			writeError(w, http.StatusBadRequest, "empty delta batch")
+			writeError(w, r, http.StatusBadRequest, "empty delta batch")
 			return
 		}
 		release, reason, admitted := s.env.admit(id)
 		if !admitted {
-			s.env.reject429(w, reason)
+			s.env.reject429(w, r, reason)
 			return
 		}
 		defer release()
-		ds, ok := s.lookup(w, id)
+		ds, ok := s.lookup(w, r, id)
 		if !ok {
 			return
 		}
@@ -530,32 +700,32 @@ func (s *Server) handleDatasetByID(w http.ResponseWriter, r *http.Request) {
 			var be *store.BudgetError
 			switch {
 			case errors.As(err, &nf):
-				writeError(w, http.StatusNotFound, "%v", err)
+				writeError(w, r, http.StatusNotFound, "%v", err)
 			case errors.As(err, &be):
 				// The batch outran the request budget; by the maintenance
 				// atomicity contract nothing was applied. Retryable with a
 				// smaller batch or a larger -register-budget.
-				s.env.budgetExceeded.Add(1)
-				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				s.env.noteBudget(r)
+				writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 			case errors.As(err, &pe):
 				// The deltas were applicable; writing the durable artifact
 				// failed (disk full, I/O error). A server fault, not a
 				// conflicting request — nothing was committed.
-				writeError(w, http.StatusInternalServerError, "%v", err)
+				writeError(w, r, http.StatusInternalServerError, "%v", err)
 			default:
 				// Everything else — a scheme with no incremental form, a
 				// sharded form without delta routing, a hostile delta
 				// payload — is a conflict with the dataset's current state;
 				// the dataset, its registry entry, and its snapshot are
 				// untouched.
-				writeError(w, http.StatusConflict, "%v", err)
+				writeError(w, r, http.StatusConflict, "%v", err)
 			}
 			return
 		}
 		s.recordMaintenance(time.Since(start))
 		writeJSON(w, http.StatusOK, datasetInfo(ds))
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "use GET or PATCH")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET or PATCH")
 	}
 }
 
@@ -569,11 +739,11 @@ func (s *Server) shardingParams(w http.ResponseWriter, r *http.Request) (shards 
 	if raw := r.URL.Query().Get("shards"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad shards parameter %q: want a positive integer", raw)
+			writeError(w, r, http.StatusBadRequest, "bad shards parameter %q: want a positive integer", raw)
 			return 0, nil, false, false
 		}
 		if n > maxShards {
-			writeError(w, http.StatusBadRequest, "shards %d exceeds the cap %d", n, maxShards)
+			writeError(w, r, http.StatusBadRequest, "shards %d exceeds the cap %d", n, maxShards)
 			return 0, nil, false, false
 		}
 		shards, explicit = n, true
@@ -584,7 +754,7 @@ func (s *Server) shardingParams(w http.ResponseWriter, r *http.Request) (shards 
 	}
 	p, err := shard.PartitionerByName(name)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return 0, nil, false, false
 	}
 	return shards, p, explicit, true
@@ -598,12 +768,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if req.ID == "" {
-			writeError(w, http.StatusBadRequest, "missing dataset id")
+			writeError(w, r, http.StatusBadRequest, "missing dataset id")
 			return
 		}
 		scheme, ok := s.catalog[req.Scheme]
 		if !ok {
-			writeError(w, http.StatusBadRequest, "unknown scheme %q (have %v)", req.Scheme, s.schemeNames())
+			writeError(w, r, http.StatusBadRequest, "unknown scheme %q (have %v)", req.Scheme, s.schemeNames())
 			return
 		}
 		shards, partitioner, explicit, ok := s.shardingParams(w, r)
@@ -615,7 +785,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			// error; a server-wide -shards default must not make these
 			// schemes unregistrable, so it falls back to unsharded.
 			if explicit {
-				writeError(w, http.StatusBadRequest, "scheme %q has no sharded form (shardable: %v)",
+				writeError(w, r, http.StatusBadRequest, "scheme %q has no sharded form (shardable: %v)",
 					req.Scheme, shard.ShardableSchemes())
 				return
 			}
@@ -623,7 +793,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		release, reason, admitted := s.env.admit(req.ID)
 		if !admitted {
-			s.env.reject429(w, reason)
+			s.env.reject429(w, r, reason)
 			return
 		}
 		defer release()
@@ -642,11 +812,11 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 				// The build outran the request budget and was abandoned: no
 				// catalog entry, no snapshot handed out. Retryable with a
 				// larger -register-budget.
-				s.env.budgetExceeded.Add(1)
-				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				s.env.noteBudget(r)
+				writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 				return
 			}
-			writeError(w, http.StatusConflict, "%v", err)
+			writeError(w, r, http.StatusConflict, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, datasetInfo(ds))
@@ -659,7 +829,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": infos})
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET or POST")
 	}
 }
 
@@ -674,14 +844,14 @@ func (s *Server) workContext(r *http.Request) (context.Context, context.CancelFu
 }
 
 // lookup resolves a dataset — plain or sharded — for the answer paths.
-func (s *Server) lookup(w http.ResponseWriter, dataset string) (store.Dataset, bool) {
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request, dataset string) (store.Dataset, bool) {
 	if dataset == "" {
-		writeError(w, http.StatusBadRequest, "missing dataset id")
+		writeError(w, r, http.StatusBadRequest, "missing dataset id")
 		return nil, false
 	}
 	ds, ok := s.reg.GetDataset(dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, "dataset %q not registered", dataset)
+		writeError(w, r, http.StatusNotFound, "dataset %q not registered", dataset)
 		return nil, false
 	}
 	return ds, true
@@ -689,7 +859,7 @@ func (s *Server) lookup(w http.ResponseWriter, dataset string) (store.Dataset, b
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	var req QueryRequest
@@ -698,11 +868,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	release, reason, admitted := s.env.admit(req.Dataset)
 	if !admitted {
-		s.env.reject429(w, reason)
+		s.env.reject429(w, r, reason)
 		return
 	}
 	defer release()
-	ds, ok := s.lookup(w, req.Dataset)
+	ds, ok := s.lookup(w, r, req.Dataset)
 	if !ok {
 		return
 	}
@@ -713,13 +883,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	version := ds.Version()
 	start := time.Now()
 	ans, err := s.answerPath(ds).Answer(req.Query)
-	served := 1
+	served, failed := 1, 0
 	if err != nil {
-		served = 0 // match the batch path: failed queries count as errors, not served queries
+		served, failed = 0, 1 // match the batch path: failed queries count as failed, not served
 	}
-	s.record(ds.SchemeName(), served, time.Since(start), err)
+	s.record(ds.SchemeName(), served, failed, time.Since(start), err)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Answer: ans, Version: version})
@@ -727,7 +897,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	var req BatchRequest
@@ -737,18 +907,18 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if max := s.env.limits.MaxBatchQueries; len(req.Queries) > max {
 		// Same policy split as the body cap: a well-formed batch over the
 		// work limit is a 413 naming the limit, not a 400.
-		s.env.rejectedBatch413.Add(1)
-		writeError(w, http.StatusRequestEntityTooLarge,
+		s.env.noteBatch413(r)
+		writeError(w, r, http.StatusRequestEntityTooLarge,
 			"batch of %d queries exceeds the %d-query limit", len(req.Queries), max)
 		return
 	}
 	release, reason, admitted := s.env.admit(req.Dataset)
 	if !admitted {
-		s.env.reject429(w, reason)
+		s.env.reject429(w, r, reason)
 		return
 	}
 	defer release()
-	ds, ok := s.lookup(w, req.Dataset)
+	ds, ok := s.lookup(w, r, req.Dataset)
 	if !ok {
 		return
 	}
@@ -761,10 +931,14 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	answers, err := s.answerPath(ds).AnswerBatch(req.Queries, parallelism)
 	// Count only queries actually answered: AnswerBatch fails fast and
 	// returns no answers on error, so a failed batch must not inflate the
-	// served-query counter.
-	s.record(ds.SchemeName(), len(answers), time.Since(start), err)
+	// served-query counter — the whole batch counts as failed instead.
+	failed := 0
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		failed = len(req.Queries)
+	}
+	s.record(ds.SchemeName(), len(answers), failed, time.Since(start), err)
+	if err != nil {
+		writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Answers: answers, Version: version})
@@ -772,7 +946,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	resp := StatsResponse{
@@ -780,8 +954,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PreprocessCalls: s.reg.PreprocessCount(),
 		SnapshotLoads:   s.reg.LoadCount(),
 		MaintenanceNs:   s.maintenanceNs.Load(),
+		UptimeS:         time.Since(s.startTime).Seconds(),
+		Build:           buildInfo(),
 		PerScheme:       map[string]schemeStats{},
 		Envelope:        s.env.stats(),
+		Stages:          stageStatsSnapshot(),
 	}
 	s.stats.Range(func(name, v interface{}) bool {
 		st := v.(*schemeCounters).snapshot()
@@ -806,16 +983,22 @@ func (s *Server) recordMaintenance(elapsed time.Duration) {
 	s.maintenanceNs.Add(elapsed.Nanoseconds())
 }
 
-// record folds one answer-path call into the per-scheme counters — three
-// atomic adds, so high-QPS serving never bottlenecks on bookkeeping.
-func (s *Server) record(scheme string, queries int, elapsed time.Duration, err error) {
+// record folds one answer-path call into the per-scheme counters — a few
+// atomic adds, so high-QPS serving never bottlenecks on bookkeeping. The
+// histogram observation is per call (one batch = one observation), matching
+// the latency_ns accumulator it sits next to.
+func (s *Server) record(scheme string, served, failed int, elapsed time.Duration, err error) {
 	v, ok := s.stats.Load(scheme)
 	if !ok {
-		v, _ = s.stats.LoadOrStore(scheme, &schemeCounters{})
+		v, _ = s.stats.LoadOrStore(scheme, &schemeCounters{hist: obs.AnswerHistogram(scheme)})
 	}
 	c := v.(*schemeCounters)
-	c.queries.Add(int64(queries))
+	c.queries.Add(int64(served))
 	c.latencyNs.Add(elapsed.Nanoseconds())
+	c.hist.Observe(elapsed)
+	if failed > 0 {
+		c.failed.Add(int64(failed))
+	}
 	if err != nil {
 		c.errors.Add(1)
 	}

@@ -34,9 +34,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pitract/internal/core"
+	"pitract/internal/obs"
 	"pitract/internal/store"
+)
+
+// Stage histograms for the sharded answer and maintenance paths, resolved
+// once at init. Fan-out and merge are timed separately: fan-out cost scales
+// with shard count, merge cost with the scheme's reducer (reachability
+// probes O(|portals|) local queries per merge).
+var (
+	obsShardFanout  = obs.Stage(obs.StageShardFanout)
+	obsShardMerge   = obs.Stage(obs.StageShardMerge)
+	obsPreprocess   = obs.Stage(obs.StagePreprocess)
+	obsWarm         = obs.Stage(obs.StageWarm)
+	obsPatchApply   = obs.Stage(obs.StagePatchApply)
+	obsPatchPersist = obs.Stage(obs.StagePatchPersist)
 )
 
 // Probe answers a follow-up local query against one shard during Merge —
@@ -244,6 +259,7 @@ func (ss *ShardedStore) Answer(q []byte) (bool, error) {
 		}
 		return ss.Stores[owner].Answer(q)
 	}
+	fanStart := obs.Start()
 	verdicts := make([]bool, len(ss.Stores))
 	for i := range ss.Stores {
 		local, keep, err := ss.fanout(q, i)
@@ -258,7 +274,11 @@ func (ss *ShardedStore) Answer(q []byte) (bool, error) {
 			return false, err
 		}
 	}
-	return ss.merge(q, verdicts)
+	obsShardFanout.Since(fanStart)
+	mergeStart := obs.Start()
+	v, err := ss.merge(q, verdicts)
+	obsShardMerge.Since(mergeStart)
+	return v, err
 }
 
 // fanout applies Sharding.Fanout with the identity default.
@@ -360,6 +380,13 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 	for j := range verdicts {
 		verdicts[j] = make([]bool, n)
 	}
+	// One observation covers the whole concurrent fan-out section: with
+	// per-shard batches in flight simultaneously, the meaningful latency is
+	// the section's wall time, not the sum of per-shard times.
+	var fanStart time.Time
+	if len(fanned) > 0 {
+		fanStart = obs.Start()
+	}
 	for i := 0; i < n; i++ {
 		idxs := routed[i]
 		if len(idxs) == 0 && len(fanned) == 0 {
@@ -413,10 +440,12 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 		}(i, idxs)
 	}
 	wg.Wait()
+	obsShardFanout.Since(fanStart)
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	if len(fanned) > 0 {
+		mergeStart := obs.Start()
 		// Merges can be the expensive half of a fan-out batch (reachability
 		// probes O(|portals|) local queries per merge), so they ride their
 		// own bounded pool instead of serializing on the calling goroutine;
@@ -452,6 +481,7 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 			}()
 		}
 		mwg.Wait()
+		obsShardMerge.Since(mergeStart)
 		for j, err := range mergeErrs {
 			if err != nil {
 				return nil, fmt.Errorf("shard: batch query %d: %w", fanned[j], err)
@@ -528,6 +558,7 @@ func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalSc
 			return oldVersion, fmt.Errorf("shard: prepare summary: %w (nothing applied)", err)
 		}
 	}
+	applyStart := obs.Start()
 	touched := make([]bool, n)
 	for di, delta := range deltas {
 		if err := ctx.Err(); err != nil {
@@ -564,14 +595,17 @@ func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalSc
 			return oldVersion, fmt.Errorf("shard: finish summary: %w (nothing applied)", err)
 		}
 	}
+	obsPatchApply.Since(applyStart)
 	newVersion := oldVersion + uint64(len(deltas))
 	if err := ctx.Err(); err != nil {
 		return oldVersion, fmt.Errorf("shard: %w (nothing applied)", err)
 	}
 	if dir != "" {
+		persistStart := obs.Start()
 		if err := ss.saveMaintainedStaged(dir, pending, summary, newVersion); err != nil {
 			return oldVersion, &store.PersistError{Err: fmt.Errorf("shard: persist maintained snapshots: %w (nothing applied)", err)}
 		}
+		obsPatchPersist.Since(persistStart)
 	}
 	var prepared interface{}
 	var prepErr error
@@ -688,11 +722,13 @@ func Build(id string, scheme *core.Scheme, sh *Sharding, p Partitioner, n int, d
 					errs[i] = fmt.Errorf("shard: build %q: preprocess shard %d panicked: %v", id, i, p)
 				}
 			}()
+			ppStart := obs.Start()
 			pd, err := scheme.Preprocess(parts[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("shard: build %q: preprocess shard %d: %w", id, i, err)
 				return
 			}
+			obsPreprocess.Since(ppStart)
 			ss.Stores[i] = &store.Store{
 				ID:      fmt.Sprintf("%s/shard%d", id, i),
 				Scheme:  scheme,
@@ -701,7 +737,9 @@ func Build(id string, scheme *core.Scheme, sh *Sharding, p Partitioner, n int, d
 			}
 			// Each shard's Π decodes into its prepared form inside the same
 			// per-shard goroutine, so warm-up parallelizes with preprocessing.
+			warmStart := obs.Start()
 			ss.Stores[i].Warm()
+			obsWarm.Since(warmStart)
 		}(i)
 	}
 	wg.Wait()

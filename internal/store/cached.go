@@ -2,6 +2,15 @@ package store
 
 import (
 	"pitract/internal/cache"
+	"pitract/internal/obs"
+)
+
+// Cache-lookup stage histograms, split by outcome: a hit is served (or
+// coalesced) from the version-keyed cache, a miss ran the underlying
+// answer path and filled the cache.
+var (
+	obsCacheHit  = obs.Stage(obs.StageCacheHit)
+	obsCacheMiss = obs.Stage(obs.StageCacheMiss)
 )
 
 // cachedDataset fronts one Dataset with a verdict cache. It implements
@@ -35,9 +44,25 @@ func NewCachedDataset(ds Dataset, c *cache.Cache) Dataset {
 // coalesced onto that one run (singleflight).
 func (cd *cachedDataset) Answer(q []byte) (bool, error) {
 	version := cd.Dataset.Version()
-	return cd.c.Do(cd.Dataset.DatasetID(), version, q, func() (bool, error) {
+	start := obs.Start()
+	if start.IsZero() { // metrics disabled: skip the outcome bookkeeping
+		return cd.c.Do(cd.Dataset.DatasetID(), version, q, func() (bool, error) {
+			return cd.Dataset.Answer(q)
+		})
+	}
+	ran := false
+	v, err := cd.c.Do(cd.Dataset.DatasetID(), version, q, func() (bool, error) {
+		ran = true
 		return cd.Dataset.Answer(q)
 	})
+	if ran {
+		obsCacheMiss.Since(start)
+	} else {
+		// Hits include callers coalesced onto someone else's in-flight run:
+		// from the caller's side both are "served from the cache layer".
+		obsCacheHit.Since(start)
+	}
+	return v, err
 }
 
 // AnswerBatch implements Dataset: cached verdicts are filled in directly

@@ -11,7 +11,24 @@ import (
 	"sync/atomic"
 
 	"pitract/internal/core"
+	"pitract/internal/obs"
 	"pitract/internal/schemes"
+)
+
+// Stage histograms and counters for the registration/maintenance path,
+// resolved once at init so the hot paths never touch the registry map.
+var (
+	obsPreprocess   = obs.Stage(obs.StagePreprocess)
+	obsSnapshotLoad = obs.Stage(obs.StageSnapshotLoad)
+	obsSnapshotSave = obs.Stage(obs.StageSnapshotSave)
+	obsWarm         = obs.Stage(obs.StageWarm)
+
+	obsPreprocessTotal = obs.Default.Counter("pitract_preprocess_total",
+		"Scheme Preprocess runs across all registries in this process.")
+	obsSnapshotLoadTotal = obs.Default.Counter("pitract_snapshot_loads_total",
+		"Stores reloaded from snapshots instead of preprocessed.")
+	obsDeltasTotal = obs.Default.Counter("pitract_deltas_applied_total",
+		"Deltas applied through incremental maintenance.")
 )
 
 // Dataset is anything the registry can serve queries from: a plain Store
@@ -328,9 +345,12 @@ func (r *Registry) RegisterContext(ctx context.Context, id string, scheme *core.
 func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, error) {
 	sum := SumData(data)
 	if r.dir != "" {
+		loadStart := obs.Start()
 		if snap, err := Load(r.snapshotPath(id)); err == nil &&
 			snap.SchemeName == scheme.Name() && snap.DataSum == sum {
+			obsSnapshotLoad.Since(loadStart)
 			r.loadCount.Add(1)
+			obsSnapshotLoadTotal.Inc()
 			st := &Store{ID: id, Scheme: scheme, Prep: snap.Prep, DataSum: sum, Loaded: true}
 			// A snapshot with Version > 0 is the maintained Π(D ⊕ ∆D…):
 			// resuming from it (not from a re-preprocess of D) is the whole
@@ -338,22 +358,31 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 			st.SetVersion(snap.Version)
 			// Decode Π into its prepared form while still inside the one
 			// build this registration runs — queries then pay only probes.
+			warmStart := obs.Start()
 			st.Warm()
+			obsWarm.Since(warmStart)
 			return st, nil
 		}
 	}
+	ppStart := obs.Start()
 	pd, err := scheme.Preprocess(data)
 	if err != nil {
 		return nil, fmt.Errorf("store: register %q: preprocess (%s): %w", id, scheme.Name(), err)
 	}
+	obsPreprocess.Since(ppStart)
 	r.preprocessCount.Add(1)
+	obsPreprocessTotal.Inc()
 	st := &Store{ID: id, Scheme: scheme, Prep: pd, DataSum: sum}
 	if r.dir != "" {
+		saveStart := obs.Start()
 		if err := Save(r.snapshotPath(id), st.Snapshot()); err != nil {
 			return nil, err
 		}
+		obsSnapshotSave.Since(saveStart)
 	}
+	warmStart := obs.Start()
 	st.Warm()
+	obsWarm.Since(warmStart)
 	return st, nil
 }
 
@@ -459,6 +488,7 @@ func (r *Registry) ApplyDeltaContext(ctx context.Context, id string, deltas [][]
 		return v, fmt.Errorf("store: apply delta to %q: %w", id, err)
 	}
 	r.deltaCount.Add(int64(len(deltas)))
+	obsDeltasTotal.Add(int64(len(deltas)))
 	return v, nil
 }
 
@@ -550,7 +580,13 @@ func (r *Registry) LoadCount() int64 { return r.loadCount.Load() }
 // NotePreprocess folds an externally run Preprocess call into the
 // registry's counters. Composite registrations (internal/shard) preprocess
 // their parts outside build and report here so /v1/stats stays truthful.
-func (r *Registry) NotePreprocess() { r.preprocessCount.Add(1) }
+func (r *Registry) NotePreprocess() {
+	r.preprocessCount.Add(1)
+	obsPreprocessTotal.Inc()
+}
 
 // NoteLoad is NotePreprocess for snapshot reloads.
-func (r *Registry) NoteLoad() { r.loadCount.Add(1) }
+func (r *Registry) NoteLoad() {
+	r.loadCount.Add(1)
+	obsSnapshotLoadTotal.Inc()
+}

@@ -31,6 +31,15 @@ import (
 	"sync"
 
 	"pitract/internal/core"
+	"pitract/internal/obs"
+)
+
+// PATCH-maintenance stage histograms: the incremental in-memory apply and
+// the snapshot rewrite are timed separately so dashboards can tell CPU-bound
+// maintenance apart from fsync-bound persistence.
+var (
+	obsPatchApply   = obs.Stage(obs.StagePatchApply)
+	obsPatchPersist = obs.Stage(obs.StagePatchPersist)
 )
 
 // snapshotMagic opens every snapshot file. The trailing byte is the format
@@ -360,6 +369,7 @@ func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, d
 	defer st.maintMu.Unlock()
 	// maintMu is the only writer seam, so the view cannot move under us.
 	cur, oldVersion := st.View()
+	applyStart := obs.Start()
 	for i, delta := range deltas {
 		if err := ctx.Err(); err != nil {
 			return oldVersion, fmt.Errorf("store: delta %d: %w (nothing applied)", i, err)
@@ -370,16 +380,19 @@ func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, d
 		}
 		cur = next
 	}
+	obsPatchApply.Since(applyStart)
 	if err := ctx.Err(); err != nil {
 		return oldVersion, fmt.Errorf("store: %w (nothing applied)", err)
 	}
 	newVersion := oldVersion + uint64(len(deltas))
 	if dir != "" {
+		persistStart := obs.Start()
 		snap := st.snapshotSkeleton()
 		snap.Prep, snap.Version = cur, newVersion
 		if err := Save(SnapshotPath(dir, st.ID), snap); err != nil {
 			return oldVersion, &PersistError{Err: fmt.Errorf("store: persist maintained snapshot: %w (nothing applied)", err)}
 		}
+		obsPatchPersist.Since(persistStart)
 	}
 	// The maintained Π's prepared answerer is built here, outside the
 	// reader-blocking lock, and committed with ⟨Π, version⟩ in one swap. A

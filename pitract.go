@@ -70,6 +70,18 @@
 // Both paths are differentially pinned to the raw Answer oracle, and
 // experiment X6 measures cached vs uncached QPS over hot/zipf/cold mixes.
 //
+// An observability layer watches all of it without getting in its way:
+// every serve-path stage (admission, cache lookup, shard fan-out/merge,
+// preprocess, snapshot I/O, PATCH apply/persist) records into lock-free
+// log-bucketed latency histograms in a process-wide metric registry
+// (ObsDefaultRegistry), rendered as Prometheus text exposition by GET
+// /metrics, summarized as per-scheme and per-stage percentiles in
+// /v1/stats (with uptime and build info), and traced per request via
+// X-Request-ID and structured slog request/slow-query logging (`pitract
+// serve -log-level/-log-format/-slow-query-ms`; -pprof-addr serves
+// net/http/pprof on its own listener). SetMetricsEnabled(false) is the
+// kill switch; experiment X8 measures the instrumentation's overhead.
+//
 // See README.md for a tour, docs/ARCHITECTURE.md for the layer map,
 // docs/API.md for the HTTP reference, and EXPERIMENTS.md for
 // paper-vs-measured results.
@@ -86,6 +98,7 @@ import (
 	"pitract/internal/graph"
 	"pitract/internal/harness"
 	"pitract/internal/inc"
+	"pitract/internal/obs"
 	"pitract/internal/pram"
 	"pitract/internal/relation"
 	"pitract/internal/schemes"
@@ -289,6 +302,45 @@ var (
 	// ServeCatalog lists the schemes a server offers for registration,
 	// keyed by scheme name.
 	ServeCatalog = server.Catalog
+)
+
+// --- observability (internal/obs) -----------------------------------------------
+
+type (
+	// ObsRegistry holds metric families (counters, gauges, lock-free
+	// latency histograms) and renders them as Prometheus text exposition —
+	// the engine behind GET /metrics. Lookups are get-or-create and
+	// idempotent.
+	ObsRegistry = obs.Registry
+	// ObsHistogram is a lock-free log-bucketed latency histogram
+	// (128ns…~8.6s plus overflow); recording is a few atomic adds.
+	ObsHistogram = obs.Histogram
+	// ObsHistogramSnapshot is a mergeable point-in-time histogram copy with
+	// mean and quantile estimation.
+	ObsHistogramSnapshot = obs.HistogramSnapshot
+	// ObsLabel is one metric label (key + value).
+	ObsLabel = obs.Label
+	// ServerBuildInfo identifies the serving binary in /v1/stats.
+	ServerBuildInfo = server.BuildInfo
+)
+
+var (
+	// ObsDefaultRegistry is the process-wide registry every serve-path
+	// stage records into and GET /metrics renders.
+	ObsDefaultRegistry = obs.Default
+	// NewObsRegistry returns an empty metric registry (for embedding
+	// pitract metrics into another exposition).
+	NewObsRegistry = obs.NewRegistry
+	// SetMetricsEnabled is the observability kill switch: disabled, the
+	// instrumented paths skip the clock reads and atomic writes entirely
+	// (experiment X8 measures the difference). Enabled by default.
+	SetMetricsEnabled = obs.SetEnabled
+	// MetricsEnabled reports whether metric recording is enabled.
+	MetricsEnabled = obs.Enabled
+	// CheckExposition validates Prometheus text exposition format — the
+	// conformance checker the repository's own /metrics tests (and CI
+	// smoke) run against every scrape.
+	CheckExposition = obs.CheckExposition
 )
 
 // --- the answer cache (internal/cache) ------------------------------------------
