@@ -120,6 +120,25 @@ func BenchmarkX8(b *testing.B) {
 
 func BenchmarkX8_ObsOverhead(b *testing.B) { benchExperiment(b, "X8") }
 
+// BenchmarkX9 regenerates the full-dynamism experiment and reports its
+// headline numbers — the delete-heavy maintain-vs-rebuild speedup and the
+// delta-log crash-replay wall time — as benchmark metrics, so
+// BENCH_ci.json tracks what dynamism costs (and saves) from this PR on.
+func BenchmarkX9(b *testing.B) {
+	var speedup, replayMs float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		speedup, replayMs, err = harness.X9DynamismMetrics(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(speedup, "delete-maintain-speedup-x")
+	b.ReportMetric(replayMs, "replay-ms")
+}
+
+func BenchmarkX9_FullDynamism(b *testing.B) { benchExperiment(b, "X9") }
+
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same
 // query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the

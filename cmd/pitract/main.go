@@ -149,7 +149,7 @@ func cmdServe(args []string) int {
 		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range] [-cache-bytes N]")
 		fmt.Fprintln(fs.Output(), "                     [-max-inflight N] [-max-inflight-dataset N] [-max-body-bytes N] [-max-batch N]")
 		fmt.Fprintln(fs.Output(), "                     [-register-budget D] [-retry-after D] [-log-level L] [-log-format F]")
-		fmt.Fprintln(fs.Output(), "                     [-slow-query-ms N] [-pprof-addr ADDR]")
+		fmt.Fprintln(fs.Output(), "                     [-slow-query-ms N] [-pprof-addr ADDR] [-checkpoint-every N]")
 	}
 	addr := fs.String("addr", ":8080", "listen address")
 	data := fs.String("data", "", "snapshot directory for preprocessed stores (empty = in-memory only)")
@@ -166,6 +166,7 @@ func cmdServe(args []string) int {
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 	slowQueryMs := fs.Int64("slow-query-ms", 0, "log requests slower than this many milliseconds at warn level (0 = no slow-query log)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on its own listener, e.g. localhost:6060 (empty = disabled)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "delta-log records to accumulate before a snapshot checkpoint truncates the log; higher = faster PATCHes, longer replay after a crash (0 = checkpoint every batch)")
 	if code := parseArgs(fs, args); code >= 0 {
 		return code
 	}
@@ -181,7 +182,7 @@ func cmdServe(args []string) int {
 		"-max-inflight": int64(*maxInFlight), "-max-inflight-dataset": int64(*maxInFlightDS),
 		"-max-body-bytes": *maxBodyBytes, "-max-batch": int64(*maxBatch),
 		"-register-budget": int64(*registerBudget), "-retry-after": int64(*retryAfter),
-		"-slow-query-ms": *slowQueryMs,
+		"-slow-query-ms": *slowQueryMs, "-checkpoint-every": int64(*checkpointEvery),
 	} {
 		if v < 0 {
 			fmt.Fprintf(os.Stderr, "pitract serve: %s: want a non-negative value\n", name)
@@ -215,6 +216,9 @@ func cmdServe(args []string) int {
 	}
 
 	reg := pitract.NewStoreRegistry(*data)
+	if *checkpointEvery > 0 {
+		reg.SetCheckpointEvery(*checkpointEvery)
+	}
 	srv := pitract.NewServer(reg, nil)
 	if err := srv.SetDefaultSharding(*shards, *partitioner); err != nil {
 		fmt.Fprintf(os.Stderr, "pitract serve: %v\n", err)

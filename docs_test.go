@@ -153,6 +153,30 @@ var apiExamples = []apiExample{
 		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":32,"loaded":false,"shards":1,"version":1}`,
 	},
 	{
+		name:       "patch-delete",
+		method:     http.MethodPatch,
+		path:       "/v1/datasets/m",
+		reqBody:    `{"deltas":["////AAEBEg=="]}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":24,"loaded":false,"shards":1,"version":2}`,
+	},
+	{
+		name:       "query-after-delete",
+		method:     http.MethodPost,
+		path:       "/v1/query",
+		reqBody:    `{"dataset":"m","query":"iYCAgICAgICAAQ=="}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"answer":false,"version":2}`,
+	},
+	{
+		name:       "patch-upsert",
+		method:     http.MethodPatch,
+		path:       "/v1/datasets/m",
+		reqBody:    `{"deltas":["////AAIBEg=="]}`,
+		wantStatus: http.StatusOK,
+		wantBody:   `{"id":"m","scheme":"list-membership/sorted","prep_bytes":32,"loaded":false,"shards":1,"version":3}`,
+	},
+	{
 		name:       "patch-hostile-409",
 		method:     http.MethodPatch,
 		path:       "/v1/datasets/m",
@@ -246,6 +270,8 @@ func TestAPIDocMatchesServer(t *testing.T) {
 		SnapshotLoads   int64 `json:"snapshot_loads"`
 		Queries         int64 `json:"queries"`
 		DeltasApplied   int64 `json:"deltas_applied"`
+		DeltasDeleted   int64 `json:"deltas_deleted"`
+		LogReplays      int64 `json:"log_replays"`
 		MaintenanceNs   int64 `json:"maintenance_ns"`
 		PerScheme       map[string]struct {
 			Queries   int64 `json:"queries"`
@@ -275,23 +301,28 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	if err := json.Unmarshal(rawStats, &stats); err != nil {
 		t.Fatalf("stats response does not match the documented shape: %v", err)
 	}
-	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 6 {
+	if stats.Datasets != 2 || stats.PreprocessCalls != 3 || stats.Queries != 7 {
 		t.Fatalf("stats counters diverge from the documented example: %+v", stats)
 	}
-	if stats.DeltasApplied != 1 || stats.MaintenanceNs <= 0 {
+	if stats.DeltasApplied != 3 || stats.MaintenanceNs <= 0 {
 		t.Fatalf("maintenance counters diverge from the documented example: %+v", stats)
 	}
+	// The dynamism counters: of the three applied deltas exactly one was a
+	// tombstone (patch-delete); this in-memory registry replayed no log.
+	if stats.DeltasDeleted != 1 || stats.LogReplays != 0 {
+		t.Fatalf("dynamism counters diverge from the documented example: %+v", stats)
+	}
 	ss, ok := stats.PerScheme["list-membership/sorted"]
-	if !ok || ss.Queries != 6 || ss.Errors != 0 {
+	if !ok || ss.Queries != 7 || ss.Errors != 0 {
 		t.Fatalf("per-scheme stats diverge from the documented example: %+v", stats.PerScheme)
 	}
-	// The cache counters: 5 distinct ⟨dataset, version, query⟩ keys missed
-	// and were filled (q2@v0, q9@v0, q9@v1, and the two batch queries on
-	// m2@v0); the repeated query-after-patch body hit.
+	// The cache counters: 6 distinct ⟨dataset, version, query⟩ keys missed
+	// and were filled (q2@v0, q9@v0, q9@v1, q9@v2, and the two batch
+	// queries on m2@v0); the repeated query-after-patch body hit.
 	if stats.Cache == nil {
 		t.Fatalf("stats response carries no cache block with the cache enabled")
 	}
-	if stats.Cache.Hits != 1 || stats.Cache.Misses != 5 || stats.Cache.Entries != 5 {
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 6 || stats.Cache.Entries != 6 {
 		t.Fatalf("cache counters diverge from the documented example: %+v", *stats.Cache)
 	}
 	if stats.Cache.BudgetBytes != 1<<20 || stats.Cache.Bytes <= 0 {

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDeltaEnvelopeRoundTrip pins the tagged-delta wire format: delete and
+// upsert round-trip through TagDelta/DeltaParts, inserts stay untagged
+// byte-for-byte (the PR 4 compatibility contract), and kinds survive
+// DeltaKindOf.
+func TestDeltaEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 0xFF, 0}
+	for _, kind := range []DeltaKind{DeltaInsert, DeltaDelete, DeltaUpsert} {
+		tagged := TagDelta(kind, payload)
+		if kind == DeltaInsert && !bytes.Equal(tagged, payload) {
+			t.Fatalf("insert must stay untagged: %x", tagged)
+		}
+		gotKind, gotPayload, err := DeltaParts(tagged)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if gotKind != kind || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("%v round trip: got %v %x", kind, gotKind, gotPayload)
+		}
+		if DeltaKindOf(tagged) != kind {
+			t.Fatalf("DeltaKindOf(%v) = %v", kind, DeltaKindOf(tagged))
+		}
+	}
+}
+
+// TestDeltaPartsUntagged: arbitrary untagged bytes — including empty and
+// near-magic prefixes — are inserts of the whole delta.
+func TestDeltaPartsUntagged(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		{},
+		{0xFF},
+		{0xFF, 0xFF, 0xFF},       // magic truncated before its terminal byte
+		{0xFF, 0xFF, 0xFF, 0x00}, // full magic but no kind byte: too short
+		{0xFF, 0xFF, 0x00, 0x00, 0x01},
+		{0x08, 0x01, 0x02},
+	} {
+		kind, payload, err := DeltaParts(b)
+		if err != nil {
+			t.Fatalf("%x: %v", b, err)
+		}
+		if kind != DeltaInsert || !bytes.Equal(payload, b) {
+			t.Fatalf("%x: got kind %v payload %x, want untouched insert", b, kind, payload)
+		}
+	}
+}
+
+// TestDeltaPartsUnknownKind: a tagged delta with a future kind byte is an
+// error, never a guess — and DeltaKindOf defers to the applying scheme by
+// reporting insert.
+func TestDeltaPartsUnknownKind(t *testing.T) {
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0x00, 0x07, 1, 2}
+	if _, _, err := DeltaParts(hostile); err == nil {
+		t.Fatal("unknown kind byte accepted")
+	}
+	if got := DeltaKindOf(hostile); got != DeltaInsert {
+		t.Fatalf("DeltaKindOf(unknown kind) = %v, want insert", got)
+	}
+}

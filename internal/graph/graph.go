@@ -73,6 +73,58 @@ func (g *Graph) MustAddEdge(u, v int) {
 	}
 }
 
+// HasEdge reports whether the edge u→v is present (v→u counts too when
+// undirected, since AddEdge stores both arcs).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveEdge deletes the edge u→v (plus v→u when undirected). Deleting an
+// edge that is not present is an error: retraction of a fact that was never
+// asserted is a client mistake the caller must surface, not absorb.
+// Duplicates from un-normalized parallel insertions lose one copy per call.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if !g.removeArc(u, v) {
+		return fmt.Errorf("graph: edge (%d,%d) not present", u, v)
+	}
+	if !g.directed {
+		// AddEdge always stores the reverse arc, so its absence here means
+		// the adjacency lists were corrupted, not a client mistake.
+		if !g.removeArc(v, u) {
+			return fmt.Errorf("graph: undirected edge (%d,%d) missing reverse arc", u, v)
+		}
+	}
+	g.m--
+	return nil
+}
+
+// removeArc removes the first copy of v from u's adjacency list, preserving
+// order (so a sorted list stays sorted).
+func (g *Graph) removeArc(u, v int) bool {
+	l := g.adj[u]
+	for i, w := range l {
+		if int(w) == v {
+			g.adj[u] = append(l[:i], l[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Normalize sorts adjacency lists ascending and removes duplicate edges.
 // All traversal functions call it implicitly via Neighbors.
 func (g *Graph) Normalize() {

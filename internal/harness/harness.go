@@ -220,6 +220,7 @@ func All() []Experiment {
 		{"X6", "hot-path answer cache: cached vs uncached QPS over hot/zipf/cold mixes", X6HotPath},
 		{"X7", "serving envelope under load: admission, backpressure, admitted-tail latency", X7Envelope},
 		{"X8", "observability overhead: instrumented vs uninstrumented serve path", X8ObsOverhead},
+		{"X9", "full dynamism: delete-maintained Π(D ⊕ ∆D) vs rebuild, delta-log crash replay", X9FullDynamism},
 	}
 }
 

@@ -23,7 +23,9 @@ const (
 	StageSnapshotSave = "snapshot_save" // atomic snapshot write (including fsync)
 	StageWarm         = "warm"          // decoding Π into its prepared in-memory form
 	StagePatchApply   = "patch_apply"   // incremental ApplyDelta over a PATCH batch
-	StagePatchPersist = "patch_persist" // re-snapshotting the maintained Π after a PATCH
+	StagePatchPersist = "patch_persist" // checkpointing the maintained Π after a PATCH
+	StageLogAppend    = "log_append"    // CRC-framed delta-log append + fsync (the PATCH commit point)
+	StageLogReplay    = "log_replay"    // replaying the delta-log tail over a loaded snapshot at open
 )
 
 // Stage returns the Default-registry histogram for one serve-path stage.

@@ -216,11 +216,35 @@ func TestIncrementalRedundantEdgeNoChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := inc.ApplyDelta(pd, EdgeDelta(0, 2)) // already implied
+	// (0,2) is already implied by the closure, but it is a new *edge*: the
+	// matrix must not change while the graph appendix gains it — exactly
+	// what a fresh rebuild of the updated data produces.
+	out, err := inc.ApplyDelta(pd, EdgeDelta(0, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(out) != string(pd) {
-		t.Fatal("redundant edge changed the closure bytes")
+	bitLen := 8 + (4*4+7)/8
+	if string(out[:bitLen]) != string(pd[:bitLen]) {
+		t.Fatal("redundant edge changed the closure matrix")
+	}
+	d2, err := inc.ApplyUpdate(g.Encode(), EdgeDelta(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := inc.Scheme.Preprocess(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(fresh) {
+		t.Fatal("maintained Π diverges from rebuilt Π after redundant edge")
+	}
+	// A redundant edge that is also already *present* changes nothing at
+	// all: the rebuild's Normalize would dedup it anyway.
+	same, err := inc.ApplyDelta(out, EdgeDelta(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(same) != string(out) {
+		t.Fatal("re-inserting a present edge changed the closure bytes")
 	}
 }

@@ -30,6 +30,21 @@ import (
 // scheme.
 func KeysDelta(keys []int64) []byte { return EncodeList(keys) }
 
+// KeysDeleteDelta encodes a retraction batch for the sorted-key-file
+// schemes: every record carrying a batch key is dropped (tombstone
+// semantics — deleting an absent key is a no-op, so retractions are
+// idempotent and replay-safe).
+func KeysDeleteDelta(keys []int64) []byte {
+	return core.TagDelta(core.DeltaDelete, EncodeList(keys))
+}
+
+// KeysUpsertDelta encodes an insert-where-absent batch. Unlike a plain
+// insert it keeps the raw data duplicate-free, so maintained and rebuilt
+// list-membership artifacts stay byte-identical.
+func KeysUpsertDelta(keys []int64) []byte {
+	return core.TagDelta(core.DeltaUpsert, EncodeList(keys))
+}
+
 // IncrementalForScheme returns the incremental form of a scheme, or nil
 // when the scheme has none (e.g. the point-selection scan baseline keeps no
 // maintained structure, and BDS visit orders are global artifacts an
@@ -93,32 +108,99 @@ func mergeSortedKeyFiles(pd, sorted []byte) []byte {
 	return out
 }
 
-// applyKeysDelta is the shared ApplyDelta of the sorted-key-file schemes.
+// deleteSortedKeys drops every fixed-width record whose key appears in the
+// tombstone batch — all duplicate records of a key fall together, matching
+// a fresh rebuild of the retracted data. Keys absent from the file are
+// ignored (idempotent tombstones).
+func deleteSortedKeys(pd []byte, keys []int64) []byte {
+	tombs := putSortedKeys(dedupSorted(keys))
+	out := make([]byte, 0, len(pd))
+	j := 0
+	for i := 0; i < len(pd); i += 8 {
+		a := binary.BigEndian.Uint64(pd[i:])
+		for j < len(tombs) && binary.BigEndian.Uint64(tombs[j:]) < a {
+			j += 8
+		}
+		if j < len(tombs) && binary.BigEndian.Uint64(tombs[j:]) == a {
+			continue
+		}
+		out = append(out, pd[i:i+8]...)
+	}
+	return out
+}
+
+// applyKeysDelta is the shared ApplyDelta of the sorted-key-file schemes:
+// inserts and upserts merge (the merge already skips present keys), deletes
+// tombstone.
 func applyKeysDelta(pd, delta []byte) ([]byte, error) {
 	if len(pd)%8 != 0 {
 		return nil, fmt.Errorf("schemes: corrupt sorted-key file (%d bytes)", len(pd))
 	}
-	newKeys, err := DecodeList(delta)
+	kind, payload, err := core.DeltaParts(delta)
 	if err != nil {
 		return nil, err
 	}
-	return mergeSortedKeyFiles(pd, putSortedKeys(dedupSorted(newKeys))), nil
+	keys, err := DecodeList(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind == core.DeltaDelete {
+		return deleteSortedKeys(pd, keys), nil
+	}
+	return mergeSortedKeyFiles(pd, putSortedKeys(dedupSorted(keys))), nil
 }
 
-// appendRelationKeys is the ⊕ of the relation-backed selection schemes:
-// append one tuple per inserted key.
-func appendRelationKeys(d, delta []byte) ([]byte, error) {
+// applyRelationKeys is the ⊕ of the relation-backed selection schemes:
+// insert appends one tuple per key, upsert appends only absent keys, delete
+// removes every tuple carrying a batch key.
+func applyRelationKeys(d, delta []byte) ([]byte, error) {
 	rel, err := relation.Decode(d)
 	if err != nil {
 		return nil, err
 	}
-	newKeys, err := DecodeList(delta)
+	kind, payload, err := core.DeltaParts(delta)
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range newKeys {
-		if err := rel.Append(relation.Tuple{relation.Int(k), relation.Str("")}); err != nil {
-			return nil, err
+	keys, err := DecodeList(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case core.DeltaDelete:
+		idx := rel.Schema.AttrIndex("key")
+		if idx < 0 {
+			return nil, fmt.Errorf("schemes: relation %q has no key attribute to delete by", rel.Schema.Name)
+		}
+		dropped := make(map[int64]bool, len(keys))
+		for _, k := range keys {
+			dropped[k] = true
+		}
+		kept := rel.Tuples[:0]
+		for _, t := range rel.Tuples {
+			if !dropped[t[idx].I] {
+				kept = append(kept, t)
+			}
+		}
+		rel.Tuples = kept
+	case core.DeltaUpsert:
+		for _, k := range keys {
+			present, err := rel.ScanPointSelect("key", relation.Int(k))
+			if err != nil {
+				return nil, err
+			}
+			if present {
+				continue
+			}
+			if err := rel.Append(relation.Tuple{relation.Int(k), relation.Str("")}); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		for _, k := range keys {
+			if err := rel.Append(relation.Tuple{relation.Int(k), relation.Str("")}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return rel.Encode(), nil
@@ -130,8 +212,8 @@ func IncrementalPointSelection() *core.IncrementalScheme {
 	return &core.IncrementalScheme{
 		Scheme:      PointSelectionScheme(),
 		ApplyDelta:  applyKeysDelta,
-		ApplyUpdate: appendRelationKeys,
-		DeltaNote:   "O(|D|/8 + |∆D| log |∆D|) merge vs O(|D| log |D|) re-sort",
+		ApplyUpdate: applyRelationKeys,
+		DeltaNote:   "O(|D|/8 + |∆D| log |∆D|) merge/tombstone vs O(|D| log |D|) re-sort",
 	}
 }
 
@@ -142,8 +224,8 @@ func IncrementalRangeSelection() *core.IncrementalScheme {
 	return &core.IncrementalScheme{
 		Scheme:      RangeSelectionScheme(),
 		ApplyDelta:  applyKeysDelta,
-		ApplyUpdate: appendRelationKeys,
-		DeltaNote:   "O(|D|/8 + |∆D| log |∆D|) merge vs O(|D| log |D|) re-sort",
+		ApplyUpdate: applyRelationKeys,
+		DeltaNote:   "O(|D|/8 + |∆D| log |∆D|) merge/tombstone vs O(|D| log |D|) re-sort",
 	}
 }
 
@@ -161,11 +243,42 @@ func IncrementalListMembership() *core.IncrementalScheme {
 			if err != nil {
 				return nil, err
 			}
-			newKeys, err := DecodeList(delta)
+			kind, payload, err := core.DeltaParts(delta)
 			if err != nil {
 				return nil, err
 			}
-			return EncodeList(append(list, newKeys...)), nil
+			newKeys, err := DecodeList(payload)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case core.DeltaDelete:
+				dropped := make(map[int64]bool, len(newKeys))
+				for _, k := range newKeys {
+					dropped[k] = true
+				}
+				kept := list[:0]
+				for _, e := range list {
+					if !dropped[e] {
+						kept = append(kept, e)
+					}
+				}
+				return EncodeList(kept), nil
+			case core.DeltaUpsert:
+				present := make(map[int64]bool, len(list))
+				for _, e := range list {
+					present[e] = true
+				}
+				for _, k := range newKeys {
+					if !present[k] {
+						present[k] = true
+						list = append(list, k)
+					}
+				}
+				return EncodeList(list), nil
+			default:
+				return EncodeList(append(list, newKeys...)), nil
+			}
 		},
 		DeltaNote: "O(|M|/8 + |∆M| log |∆M|) merge vs O(|M| log |M|) re-sort",
 	}
@@ -193,6 +306,19 @@ func dedupSorted(keys []int64) []int64 {
 // EdgeDelta encodes an edge insertion for the reachability scheme.
 func EdgeDelta(u, v int) []byte { return core.EncodeUint64(uint64(u), uint64(v)) }
 
+// EdgeDeleteDelta encodes an edge retraction. Unlike key tombstones,
+// deleting an absent edge is an error: an edge is a concrete asserted
+// datum, and absorbing its absence would mask routing bugs in sharded
+// splits.
+func EdgeDeleteDelta(u, v int) []byte {
+	return core.TagDelta(core.DeltaDelete, core.EncodeUint64(uint64(u), uint64(v)))
+}
+
+// EdgeUpsertDelta encodes an insert-unless-present edge.
+func EdgeUpsertDelta(u, v int) []byte {
+	return core.TagDelta(core.DeltaUpsert, core.EncodeUint64(uint64(u), uint64(v)))
+}
+
 // closureInsertArc ORs one arc insertion (u, v) into a closure bitset in
 // place: every row that reaches u gains v's descendant row. Rows are read
 // from the evolving matrix, which is sound — OR-ing only ever adds true
@@ -219,65 +345,159 @@ func closureInsertArc(out []byte, n, u, v int) {
 }
 
 // IncrementalReachability returns the closure-matrix scheme extended with
-// §4(7)-style maintenance: inserting (u, v) ORs v's descendant row into
-// every ancestor row of u, touching only affected rows. The closure
-// header's orientation flag decides whether the symmetric arc is inserted
-// too, so undirected datasets stay equivalent to a from-scratch rebuild
-// (whose AddEdge is symmetric).
+// §4(7)-style maintenance in both directions. Inserting (u, v) ORs v's
+// descendant row into every ancestor row of u, touching only affected rows;
+// the closure header's orientation flag decides whether the symmetric arc
+// is inserted too, so undirected datasets stay equivalent to a from-scratch
+// rebuild (whose AddEdge is symmetric).
+//
+// Deleting (u, v) uses the graph appendix (ClosureGraphFlag) and Vigny's
+// observation (arXiv:2010.02982) that retractions are cheap when
+// connectivity survives: after removing the edge, if u still reaches v,
+// every old path through the deleted arc reroutes along the surviving u⇝v
+// path and the matrix is bitwise unchanged — one O(|V|+|E|) traversal
+// settles the whole update. Only when the deletion actually disconnects
+// u from v do we fall back to recomputing the affected rows (exactly the
+// old ancestors of u; no other row can lose a fact), each by a fresh
+// traversal, with the dense rebuild kept as the differential oracle in the
+// test suites.
 func IncrementalReachability() *core.IncrementalScheme {
 	return &core.IncrementalScheme{
 		Scheme: ReachabilityScheme(),
 		ApplyDelta: func(pd, delta []byte) ([]byte, error) {
-			n, undirected, err := closureHeader(pd)
+			kind, payload, err := core.DeltaParts(delta)
 			if err != nil {
 				return nil, err
 			}
-			u, v, err := DecodeNodePairQuery(delta)
+			n, undirected, bits, graphEnc, err := closureParts(pd)
+			if err != nil {
+				return nil, err
+			}
+			u, v, err := DecodeNodePairQuery(payload)
 			if err != nil {
 				return nil, err
 			}
 			if u < 0 || u >= n || v < 0 || v >= n || u == v {
 				return nil, fmt.Errorf("schemes: bad edge delta (%d,%d)", u, v)
 			}
-			out := append([]byte(nil), pd...)
+			if graphEnc == nil {
+				// Closure persisted before the appendix existed: insertions
+				// keep working from the matrix alone, but a retraction
+				// cannot be decided without the surviving edges.
+				if kind == core.DeltaDelete {
+					return nil, fmt.Errorf("schemes: closure predates the graph appendix; re-register the dataset to enable deletions")
+				}
+				out := append([]byte(nil), pd...)
+				closureInsertArc(out, n, u, v)
+				if undirected {
+					closureInsertArc(out, n, v, u)
+				}
+				return out, nil
+			}
+			g, err := graph.Decode(graphEnc)
+			if err != nil {
+				return nil, err
+			}
+			if g.N() != n {
+				return nil, fmt.Errorf("schemes: closure appendix has %d vertices, header claims %d", g.N(), n)
+			}
+			head := pd[:8+len(bits)]
+			if kind == core.DeltaDelete {
+				if err := g.RemoveEdge(u, v); err != nil {
+					return nil, err
+				}
+				out := append([]byte(nil), head...)
+				if !g.Reachable(u, v) {
+					recomputeClosureRows(out, bits, n, u, g)
+				}
+				return appendClosureGraph(out, g), nil
+			}
+			// Insert and upsert coincide here: a present edge is already
+			// dedup'd by the rebuild's Normalize, so the rebuilt Π is
+			// bitwise identical to the unchanged one.
+			if g.HasEdge(u, v) {
+				return pd, nil
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			out := append([]byte(nil), head...)
 			closureInsertArc(out, n, u, v)
 			if undirected {
 				closureInsertArc(out, n, v, u)
 			}
-			return out, nil
+			return appendClosureGraph(out, g), nil
 		},
-		ApplyUpdate: addEdgeToGraph,
-		DeltaNote:   "O(|ancestors(u)| · n/8) words vs O(n·(n+m)/8) recompute",
+		ApplyUpdate: applyEdgeToGraph,
+		DeltaNote:   "insert O(|ancestors(u)| · n/8) words; delete O(|V|+|E|) when u⇝v survives, else affected-row recompute",
 	}
 }
 
-// addEdgeToGraph decodes a graph, inserts one edge, and re-encodes — both
-// the ⊕ of the reachability schemes and the whole maintenance step of the
-// BFS baseline (whose preprocessed string is the graph itself).
-func addEdgeToGraph(d, delta []byte) ([]byte, error) {
+// recomputeClosureRows rewrites, in out's bitset (rooted at byte 8), every
+// row that could have lost a fact to the deletion of arc (u, ·): exactly
+// the rows whose old bits reached u — any old path through the arc passes
+// u, and deletions never add facts, so all other rows are unchanged. Each
+// affected row is refilled by a traversal of the surviving graph, matching
+// graph.NewClosure's reflexive semantics bit for bit.
+func recomputeClosureRows(out, oldBits []byte, n, u int, g *graph.Graph) {
+	for a := 0; a < n; a++ {
+		idx := a*n + u
+		if oldBits[idx/8]&(1<<(idx%8)) == 0 {
+			continue
+		}
+		_, dist := g.BFS(a)
+		for c := 0; c < n; c++ {
+			idx := a*n + c
+			if dist[c] >= 0 {
+				out[8+idx/8] |= 1 << (idx % 8)
+			} else {
+				out[8+idx/8] &^= 1 << (idx % 8)
+			}
+		}
+	}
+}
+
+// applyEdgeToGraph decodes a graph, applies one edge delta, and re-encodes
+// — both the ⊕ of the reachability schemes and the whole maintenance step
+// of the BFS baseline (whose preprocessed string is the graph itself).
+func applyEdgeToGraph(d, delta []byte) ([]byte, error) {
 	g, err := graph.Decode(d)
 	if err != nil {
 		return nil, err
 	}
-	u, v, err := DecodeNodePairQuery(delta)
+	kind, payload, err := core.DeltaParts(delta)
 	if err != nil {
 		return nil, err
 	}
-	if err := g.AddEdge(u, v); err != nil {
+	u, v, err := DecodeNodePairQuery(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case core.DeltaDelete:
+		err = g.RemoveEdge(u, v)
+	case core.DeltaUpsert:
+		if !g.HasEdge(u, v) {
+			err = g.AddEdge(u, v)
+		}
+	default:
+		err = g.AddEdge(u, v)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return g.Encode(), nil
 }
 
 // IncrementalReachabilityBFS maintains the BFS-per-query baseline, whose
-// Π(D) is D: inserting an edge appends it to the graph encoding. There is
+// Π(D) is D: an edge delta edits the graph encoding directly. There is
 // nothing index-shaped to maintain, which is exactly why the baseline pays
 // O(|V|+|E|) per query forever.
 func IncrementalReachabilityBFS() *core.IncrementalScheme {
 	return &core.IncrementalScheme{
 		Scheme:      ReachabilityBFSScheme(),
-		ApplyDelta:  addEdgeToGraph,
-		ApplyUpdate: addEdgeToGraph,
+		ApplyDelta:  applyEdgeToGraph,
+		ApplyUpdate: applyEdgeToGraph,
 		DeltaNote:   "O(|V|+|E|) re-encode (Π = D); queries stay O(|V|+|E|)",
 	}
 }

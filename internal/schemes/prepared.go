@@ -113,11 +113,10 @@ func (a *closureAnswerer) Answer(q []byte) (bool, error) {
 // prepareClosure validates the closure header once (same errors as the raw
 // path) and packs the row-major bitset into 64-bit words for direct probes.
 func prepareClosure(pd []byte) (core.Answerer, error) {
-	n, _, err := closureHeader(pd)
+	n, _, bits, _, err := closureParts(pd)
 	if err != nil {
 		return nil, err
 	}
-	bits := pd[8:]
 	words := make([]uint64, (n*n+63)/64)
 	for i, b := range bits {
 		words[i>>3] |= uint64(b) << ((i & 7) * 8)

@@ -329,28 +329,71 @@ func ReachabilityLanguage() core.Language {
 // pre-existing snapshot in this repository holds.)
 const ClosureUndirectedFlag = uint64(1) << 63
 
-// closureHeader parses and validates the closure header against the
-// payload length.
-func closureHeader(pd []byte) (n int, undirected bool, err error) {
+// ClosureGraphFlag is set in the closure header when the payload carries the
+// source graph's canonical encoding after the bitset:
+//
+//	header (8) ‖ row-major bitset ((n²+7)/8) ‖ uvarint len ‖ graph.Encode bytes
+//
+// Decremental maintenance needs it: a closure bit says only that *some*
+// path exists, so retracting one edge cannot be decided from the matrix
+// alone — the maintainer re-derives the affected rows from the surviving
+// edges. Preprocess now always emits the appendix; closures persisted
+// before the flag existed still answer queries and accept insertions, but
+// refuse deletions until the dataset is re-registered.
+const ClosureGraphFlag = uint64(1) << 62
+
+// closureParts parses and validates a closure payload into its header
+// fields, bitset, and optional graph appendix (nil when ClosureGraphFlag is
+// unset). The appendix length is framed explicitly so any truncated or
+// grown payload still errors here; the appendix's own integrity is checked
+// by graph.Decode at use.
+func closureParts(pd []byte) (n int, undirected bool, bits, graphEnc []byte, err error) {
 	if len(pd) < 8 {
-		return 0, false, fmt.Errorf("schemes: corrupt closure header")
+		return 0, false, nil, nil, fmt.Errorf("schemes: corrupt closure header")
 	}
 	raw := binary.BigEndian.Uint64(pd)
 	undirected = raw&ClosureUndirectedFlag != 0
-	n64 := raw &^ ClosureUndirectedFlag
-	if n64 > uint64(graph.MaxDecodeVertices) || len(pd) != 8+(int(n64)*int(n64)+7)/8 {
-		return 0, false, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d", len(pd)-8, n64)
+	hasGraph := raw&ClosureGraphFlag != 0
+	n64 := raw &^ (ClosureUndirectedFlag | ClosureGraphFlag)
+	if n64 > uint64(graph.MaxDecodeVertices) {
+		return 0, false, nil, nil, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d", len(pd)-8, n64)
 	}
-	return int(n64), undirected, nil
+	bitLen := (int(n64)*int(n64) + 7) / 8
+	if hasGraph {
+		encLen, m := binary.Uvarint(pd[min(8+bitLen, len(pd)):])
+		if m <= 0 || encLen > uint64(len(pd)) || len(pd) != 8+bitLen+m+int(encLen) {
+			return 0, false, nil, nil, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d with graph appendix", len(pd)-8, n64)
+		}
+		graphEnc = pd[len(pd)-int(encLen):]
+	} else if len(pd) != 8+bitLen {
+		return 0, false, nil, nil, fmt.Errorf("schemes: closure payload is %d bytes, header claims n=%d", len(pd)-8, n64)
+	}
+	return int(n64), undirected, pd[8 : 8+bitLen], graphEnc, nil
+}
+
+// appendClosureGraph frames and appends a graph appendix to a closure
+// head (header ‖ bitset) whose header already carries ClosureGraphFlag.
+func appendClosureGraph(head []byte, g *graph.Graph) []byte {
+	enc := g.Encode()
+	out := binary.AppendUvarint(head, uint64(len(enc)))
+	return append(out, enc...)
+}
+
+// closureHeader parses and validates the closure header against the
+// payload length.
+func closureHeader(pd []byte) (n int, undirected bool, err error) {
+	n, undirected, _, _, err = closureParts(pd)
+	return n, undirected, err
 }
 
 // closureBytes lays out an n-vertex closure as an 8-byte header (vertex
-// count plus the orientation flag) and a row-major bitset.
+// count plus the orientation and appendix flags), a row-major bitset, and
+// the canonical encoding of the source graph (see ClosureGraphFlag).
 func closureBytes(g *graph.Graph) []byte {
 	n := g.N()
 	c := graph.NewClosure(g)
 	b := make([]byte, 8+(n*n+7)/8)
-	header := uint64(n)
+	header := uint64(n) | ClosureGraphFlag
 	if !g.Directed() {
 		header |= ClosureUndirectedFlag
 	}
@@ -363,7 +406,7 @@ func closureBytes(g *graph.Graph) []byte {
 			}
 		}
 	}
-	return b
+	return appendClosureGraph(b, g)
 }
 
 // closureProbe is the branch-light probe shared by the raw path and the
@@ -383,11 +426,11 @@ func closureProbe(bits []byte, n, u, v int) (bool, error) {
 // differential oracle for the prepared closureAnswerer, which validates
 // once at Prepare and then probes words directly.
 func closureReach(pd []byte, u, v int) (bool, error) {
-	n, _, err := closureHeader(pd)
+	n, _, bits, _, err := closureParts(pd)
 	if err != nil {
 		return false, err
 	}
-	return closureProbe(pd[8:], n, u, v)
+	return closureProbe(bits, n, u, v)
 }
 
 // ReachabilityScheme precomputes the all-pairs matrix ("we may precompute a

@@ -96,6 +96,87 @@ func TestPatchMaintainsDataset(t *testing.T) {
 	}
 }
 
+// TestPatchDeleteLifecycle walks full dynamism over HTTP: tombstone a key
+// (query flips to false), re-insert it via upsert (true again), delete it
+// once more, with /v1/stats counting the delete-kind deltas and reporting
+// zero log replays on a clean run — and a restart over the same directory
+// reloading the post-delete state without resurrecting the key.
+func TestPatchDeleteLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(store.NewRegistry(dir), nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	if code := postJSON(t, client, ts.URL+"/v1/datasets", RegisterRequest{
+		ID: "d", Scheme: "point-selection/sorted-keys", Data: schemes.RelationFromKeys([]int64{2, 4, 6}),
+	}, nil); code != http.StatusOK {
+		t.Fatalf("register: status %d", code)
+	}
+	query := func(k int64) (bool, uint64) {
+		var q QueryResponse
+		if code := postJSON(t, client, ts.URL+"/v1/query", QueryRequest{
+			Dataset: "d", Query: schemes.PointQuery(k),
+		}, &q); code != http.StatusOK {
+			t.Fatalf("query %d: status %d", k, code)
+		}
+		return q.Answer, q.Version
+	}
+
+	var info DatasetInfo
+	if code := patchJSON(t, client, ts.URL+"/v1/datasets/d",
+		[][]byte{schemes.KeysDeleteDelta([]int64{4, 999})}, &info); code != http.StatusOK {
+		t.Fatalf("delete patch: status %d (%+v)", code, info)
+	}
+	if ok, v := query(4); ok || v != 1 {
+		t.Fatalf("key 4 after tombstone: %v v%d (want false, v1)", ok, v)
+	}
+	if ok, _ := query(2); !ok {
+		t.Fatal("tombstone for 4 took key 2 with it")
+	}
+	if code := patchJSON(t, client, ts.URL+"/v1/datasets/d",
+		[][]byte{schemes.KeysUpsertDelta([]int64{4})}, &info); code != http.StatusOK {
+		t.Fatalf("upsert patch: status %d", code)
+	}
+	if ok, v := query(4); !ok || v != 2 {
+		t.Fatalf("key 4 after upsert: %v v%d (want true, v2)", ok, v)
+	}
+	if code := patchJSON(t, client, ts.URL+"/v1/datasets/d",
+		[][]byte{schemes.KeysDeleteDelta([]int64{4})}, &info); code != http.StatusOK {
+		t.Fatalf("re-delete patch: status %d", code)
+	}
+	if ok, v := query(4); ok || v != 3 {
+		t.Fatalf("key 4 after re-delete: %v v%d (want false, v3)", ok, v)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, client, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.DeltasApplied != 3 || stats.DeltasDeleted != 2 {
+		t.Fatalf("stats applied %d deleted %d, want 3 and 2", stats.DeltasApplied, stats.DeltasDeleted)
+	}
+	if stats.LogReplays != 0 {
+		t.Fatalf("clean run reports %d log replays", stats.LogReplays)
+	}
+
+	// Restart over the same directory: the tombstone must hold.
+	srv2 := New(store.NewRegistry(dir), nil)
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	if code := postJSON(t, ts2.Client(), ts2.URL+"/v1/datasets", RegisterRequest{
+		ID: "d", Scheme: "point-selection/sorted-keys", Data: schemes.RelationFromKeys([]int64{2, 4, 6}),
+	}, nil); code != http.StatusOK {
+		t.Fatalf("re-register: status %d", code)
+	}
+	var q QueryResponse
+	if code := postJSON(t, ts2.Client(), ts2.URL+"/v1/query", QueryRequest{
+		Dataset: "d", Query: schemes.PointQuery(4),
+	}, &q); code != http.StatusOK || q.Answer || q.Version != 3 {
+		t.Fatalf("restart resurrected key 4: %d %+v (want false, v3)", code, q)
+	}
+}
+
 // TestPatchErrorTaxonomy pins every refusal to its status code, and that a
 // refused PATCH leaves the dataset serving its old state.
 func TestPatchErrorTaxonomy(t *testing.T) {
@@ -119,6 +200,11 @@ func TestPatchErrorTaxonomy(t *testing.T) {
 	}, nil); code != http.StatusOK {
 		t.Fatalf("register sharded bfs: status %d", code)
 	}
+	if code := postJSON(t, client, ts.URL+"/v1/datasets", RegisterRequest{
+		ID: "g", Scheme: "reachability/closure-matrix", Data: smallGraph().Encode(),
+	}, nil); code != http.StatusOK {
+		t.Fatalf("register closure: status %d", code)
+	}
 
 	var e struct {
 		Error string `json:"error"`
@@ -134,6 +220,8 @@ func TestPatchErrorTaxonomy(t *testing.T) {
 		{"hostile-delta", "/v1/datasets/m", [][]byte{{0xff, 0xff, 0xff}}, http.StatusConflict},
 		{"no-incremental-form", "/v1/datasets/scan", [][]byte{schemes.KeysDelta([]int64{2})}, http.StatusConflict},
 		{"sharded-without-delta-routing", "/v1/datasets/gbfs", [][]byte{schemes.EdgeDelta(0, 1)}, http.StatusConflict},
+		{"delete-absent-edge", "/v1/datasets/g", [][]byte{schemes.EdgeDeleteDelta(0, 3)}, http.StatusConflict},
+		{"hostile-tombstone", "/v1/datasets/m", [][]byte{{0xff, 0xff, 0xff, 0x00, 0x02, 0x80}}, http.StatusConflict},
 		{"bad-path", "/v1/datasets/", [][]byte{schemes.KeysDelta([]int64{1})}, http.StatusNotFound},
 	}
 	for _, tc := range cases {

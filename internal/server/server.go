@@ -567,7 +567,13 @@ type StatsResponse struct {
 	// DeltasApplied counts deltas committed through PATCH; MaintenanceNs
 	// sums the wall time spent applying them (incremental maintenance plus
 	// snapshot rewriting).
-	DeltasApplied int64                  `json:"deltas_applied"`
+	DeltasApplied int64 `json:"deltas_applied"`
+	// DeltasDeleted counts the applied deltas that were delete-kind
+	// (tombstones and edge retractions); LogReplays counts delta-log
+	// records replayed at registration — nonzero after a crash recovery,
+	// zero on a clean checkpointed start.
+	DeltasDeleted int64                  `json:"deltas_deleted"`
+	LogReplays    int64                  `json:"log_replays"`
 	MaintenanceNs int64                  `json:"maintenance_ns"`
 	PerScheme     map[string]schemeStats `json:"per_scheme"`
 	// Envelope reports the serving envelope: the in-flight gauge, the
@@ -967,6 +973,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	resp.DeltasApplied = s.reg.DeltaCount()
+	resp.DeltasDeleted = s.reg.DeleteCount()
+	resp.LogReplays = s.reg.ReplayCount()
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		resp.Cache = &CacheStats{

@@ -36,13 +36,29 @@ func shardDeltaCases(seed int64) []shardDeltaCase {
 	for i := range keys {
 		keys[i] = int64(rng.Intn(300) * 2)
 	}
-	keyDeltas := make([][]byte, 6)
-	for i := range keyDeltas {
+	// Mixed kinds, with the fixed prefix covering delete-present,
+	// absent-tombstone, upsert-re-insert, and delete-again on both sides
+	// of the reload boundary (half = 4); the random tail keeps the
+	// cross-shard routing honest (tombstones are idempotent, so random
+	// delete targets are safe).
+	keyDeltas := [][]byte{
+		schemes.KeysDeleteDelta([]int64{keys[0], keys[1], 900_001}),
+		schemes.KeysUpsertDelta([]int64{keys[0], keys[2]}),
+		schemes.KeysDeleteDelta([]int64{keys[0]}),
+	}
+	for len(keyDeltas) < 8 {
 		batch := make([]int64, 1+rng.Intn(4))
 		for j := range batch {
 			batch[j] = int64(rng.Intn(700))
 		}
-		keyDeltas[i] = schemes.KeysDelta(batch)
+		switch rng.Intn(3) {
+		case 0:
+			keyDeltas = append(keyDeltas, schemes.KeysDelta(batch))
+		case 1:
+			keyDeltas = append(keyDeltas, schemes.KeysDeleteDelta(batch))
+		default:
+			keyDeltas = append(keyDeltas, schemes.KeysUpsertDelta(batch))
+		}
 	}
 	keyProbes := make([][]byte, 0, 150)
 	for c := int64(0); c < 150; c++ {
@@ -57,13 +73,32 @@ func shardDeltaCases(seed int64) []shardDeltaCase {
 	// cross-shard edges, so deltas exercise both local closure maintenance
 	// and portal-overlay rebuilds.
 	g := graph.CommunityGraph(4, 8, 14, seed+5)
-	edgeDeltas := make([][]byte, 6)
-	for i := range edgeDeltas {
-		u, v := rng.Intn(g.N()), rng.Intn(g.N())
-		for u == v {
-			v = rng.Intn(g.N())
+	// Edge deletes must target present edges, so they retract edges this
+	// sequence itself inserted on pairs absent from the base graph —
+	// insert, delete, re-insert via upsert, delete again, spanning the
+	// reload boundary and (under range partitioning) crossing shards.
+	usedPairs := map[[2]int]bool{}
+	freshPair := func() (int, int) {
+		for {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u != v && !g.HasEdge(u, v) && !usedPairs[[2]int{u, v}] {
+				usedPairs[[2]int{u, v}] = true
+				return u, v
+			}
 		}
-		edgeDeltas[i] = schemes.EdgeDelta(u, v)
+	}
+	u1, v1 := freshPair()
+	u2, v2 := freshPair()
+	u3, v3 := freshPair()
+	edgeDeltas := [][]byte{
+		schemes.EdgeDelta(u1, v1),
+		schemes.EdgeDelta(u2, v2),
+		schemes.EdgeDeleteDelta(u1, v1),
+		schemes.EdgeUpsertDelta(u1, v1), // re-insert across the reload boundary
+		schemes.EdgeDeleteDelta(u2, v2),
+		schemes.EdgeDeleteDelta(u1, v1),
+		schemes.EdgeDelta(u3, v3),
+		schemes.EdgeUpsertDelta(u3, v3), // upsert of a present edge: no-op
 	}
 	pairProbes := make([][]byte, 0, 256)
 	for i := 0; i < 256; i++ {
@@ -281,7 +316,7 @@ func TestShardedEmptyBatchIsNoOp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := ss.ApplyDeltas(context.Background(), inc, nil, dir)
+	v, err := ss.ApplyDeltas(context.Background(), inc, nil, store.DiskMedium(dir))
 	if err != nil || v != 0 {
 		t.Fatalf("empty batch: version %d, err %v (want 0, nil)", v, err)
 	}
@@ -346,5 +381,95 @@ func TestShardedConcurrentDeltasAndQueries(t *testing.T) {
 	wg.Wait()
 	if got := ss.Version(); got != deltas {
 		t.Fatalf("final version %d, want %d", got, deltas)
+	}
+}
+
+// TestShardedConcurrentMixedDeltasAndQueries is the sharded twin of the
+// store-level mixed race: batch i atomically inserts key 1001+2i and
+// tombstones original key 2i, and any fan-out query observing version
+// ≥ 2(i+1) must see the insert and must NOT see the deleted key — a
+// tombstone lost in the shard routing or a torn generation swap would
+// resurrect it.
+func TestShardedConcurrentMixedDeltasAndQueries(t *testing.T) {
+	reg := store.NewRegistry("")
+	keys := make([]int64, 48)
+	for i := range keys {
+		keys[i] = int64(2 * i)
+	}
+	ss, err := RegisterSharded(reg, "d", schemes.PointSelectionScheme(), RangePartitioner{}, 3,
+		schemes.RelationFromKeys(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deltas = 24
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < deltas; i++ {
+			batch := [][]byte{
+				schemes.KeysDelta([]int64{int64(1001 + 2*i)}),
+				schemes.KeysDeleteDelta([]int64{int64(2 * i)}),
+			}
+			if _, err := reg.ApplyDelta("d", batch); err != nil {
+				t.Errorf("batch %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 77))
+			var last uint64
+			for j := 0; j < 200; j++ {
+				i := rng.Intn(deltas)
+				v := ss.Version()
+				if v < last {
+					t.Errorf("version went backwards: %d after %d", v, last)
+					return
+				}
+				last = v
+				if v < uint64(2*(i+1)) {
+					continue // batch i not committed yet
+				}
+				ans, err := ss.AnswerBatch([][]byte{
+					schemes.PointQuery(int64(1001 + 2*i)),
+					schemes.PointQuery(int64(2 * i)),
+				}, 2)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if !ans[0] {
+					t.Errorf("version %d claims batch %d applied but its inserted key is invisible", v, i)
+					return
+				}
+				if ans[1] {
+					t.Errorf("version %d claims batch %d applied but its deleted key %d reappeared", v, i, 2*i)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := ss.Version(); got != 2*deltas {
+		t.Fatalf("final version %d, want %d", got, 2*deltas)
+	}
+	for i := 0; i < deltas; i++ {
+		ans, err := ss.AnswerBatch([][]byte{
+			schemes.PointQuery(int64(2 * i)),
+			schemes.PointQuery(int64(1001 + 2*i)),
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans[0] {
+			t.Fatalf("deleted key %d reappeared after the race", 2*i)
+		}
+		if !ans[1] {
+			t.Fatalf("inserted key %d lost after the race", 1001+2*i)
+		}
 	}
 }

@@ -17,13 +17,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"net/url"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 
 	"pitract/internal/core"
+	"pitract/internal/obs"
 	"pitract/internal/store"
 )
 
@@ -199,15 +199,14 @@ func shardSnapshotPathGen(dir, id string, i int, gen uint64) string {
 // the dataset that does not belong to generation keep — not just the
 // immediately preceding one, so generations orphaned by an earlier crash
 // (committed manifest, interrupted cleanup) cannot accumulate.
-func sweepShardGenerations(dir, id string, keep uint64) {
-	entries, err := os.ReadDir(dir)
+func sweepShardGenerations(fsys store.FS, dir, id string, keep uint64) {
+	entries, err := fsys.ReadDirNames(dir)
 	if err != nil {
 		return
 	}
 	prefix := url.PathEscape(id) + ".shard"
 	const ext = ".pitract-shard"
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range entries {
 		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
 			continue
 		}
@@ -229,7 +228,7 @@ func sweepShardGenerations(dir, id string, keep uint64) {
 			continue // not a shard index of ours
 		}
 		if gen != keep {
-			os.Remove(filepath.Join(dir, name))
+			fsys.Remove(filepath.Join(dir, name))
 		}
 	}
 }
@@ -240,33 +239,38 @@ func sweepShardGenerations(dir, id string, keep uint64) {
 // names files that are fully on disk. On failure the written shard files
 // are best-effort removed; without a manifest naming them they are dead
 // weight, not a visible dataset.
-func writeShardGeneration(dir, id string, m *Manifest, encs [][]byte) error {
+func writeShardGeneration(fsys store.FS, dir, id string, m *Manifest, encs [][]byte) error {
 	m.ShardSums = make([][sha256.Size]byte, len(encs))
 	written := make([]string, 0, len(encs))
 	cleanup := func() {
 		for _, p := range written {
-			os.Remove(p)
+			fsys.Remove(p)
 		}
 	}
 	for i, enc := range encs {
 		m.ShardSums[i] = sha256.Sum256(enc)
 		path := shardSnapshotPathGen(dir, id, i, m.Version)
-		if err := store.WriteFileAtomic(path, enc); err != nil {
+		if err := store.WriteFileAtomicFS(fsys, path, enc); err != nil {
 			cleanup()
 			return fmt.Errorf("shard: save %q: %w", id, err)
 		}
 		written = append(written, path)
 	}
-	if err := store.WriteFileAtomic(ManifestPath(dir, id), EncodeManifest(m)); err != nil {
+	if err := store.WriteFileAtomicFS(fsys, ManifestPath(dir, id), EncodeManifest(m)); err != nil {
 		cleanup()
 		return fmt.Errorf("shard: save %q: %w", id, err)
 	}
 	return nil
 }
 
-// SaveSharded persists a sharded store under dir (see writeShardGeneration
-// for the commit discipline).
+// SaveSharded persists a sharded store under dir on the real disk (see
+// writeShardGeneration for the commit discipline).
 func SaveSharded(dir, id string, ss *ShardedStore, partitioner string) error {
+	return SaveShardedFS(store.OSFS, dir, id, ss, partitioner)
+}
+
+// SaveShardedFS is SaveSharded on an explicit file layer.
+func SaveShardedFS(fsys store.FS, dir, id string, ss *ShardedStore, partitioner string) error {
 	m := &Manifest{
 		SchemeName:  ss.Scheme.Name(),
 		DataSum:     ss.DataSum,
@@ -279,14 +283,14 @@ func SaveSharded(dir, id string, ss *ShardedStore, partitioner string) error {
 	for i, st := range ss.Stores {
 		encs[i] = store.EncodeSnapshot(st.Snapshot())
 	}
-	return writeShardGeneration(dir, id, m, encs)
+	return writeShardGeneration(fsys, dir, id, m, encs)
 }
 
 // saveMaintainedStaged persists the staged (pending) maintenance state as
 // generation newVersion, leaving the previous generation intact until the
 // manifest rename commits the new one. Called by ApplyDeltas under the
 // maintenance mutex, before the in-memory commit.
-func (ss *ShardedStore) saveMaintainedStaged(dir string, pending [][]byte, summary []byte, newVersion uint64) error {
+func (ss *ShardedStore) saveMaintainedStaged(fsys store.FS, dir string, pending [][]byte, summary []byte, newVersion uint64) error {
 	m := &Manifest{
 		SchemeName:  ss.Scheme.Name(),
 		DataSum:     ss.DataSum,
@@ -301,7 +305,7 @@ func (ss *ShardedStore) saveMaintainedStaged(dir string, pending [][]byte, summa
 		snap.Prep, snap.Version = prep, newVersion
 		encs[i] = store.EncodeSnapshot(snap)
 	}
-	return writeShardGeneration(dir, ss.ID, m, encs)
+	return writeShardGeneration(fsys, dir, ss.ID, m, encs)
 }
 
 // LoadSharded reopens a persisted sharded dataset: read and validate the
@@ -311,7 +315,12 @@ func (ss *ShardedStore) saveMaintainedStaged(dir string, pending [][]byte, summa
 // scheme-name mismatch each fail with a clean error — never a panic and
 // never a store quietly missing shards.
 func LoadSharded(dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
-	mb, err := os.ReadFile(ManifestPath(dir, id))
+	return LoadShardedFS(store.OSFS, dir, id, scheme)
+}
+
+// LoadShardedFS is LoadSharded on an explicit file layer.
+func LoadShardedFS(fsys store.FS, dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
+	mb, err := fsys.ReadFile(ManifestPath(dir, id))
 	if err != nil {
 		return nil, fmt.Errorf("shard: open %q: %w", id, err)
 	}
@@ -350,7 +359,7 @@ func LoadSharded(dir, id string, scheme *core.Scheme) (*ShardedStore, error) {
 		// The manifest names its own generation of shard files, so a load
 		// can never mix pre- and post-maintenance artifacts.
 		path := shardSnapshotPathGen(dir, id, i, m.Version)
-		enc, err := os.ReadFile(path)
+		enc, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("shard: open %q: shard %d: %w", id, i, err)
 		}
@@ -445,11 +454,19 @@ func RegisterShardedContext(ctx context.Context, r *store.Registry, id string, s
 			return nil
 		},
 		func() (store.Dataset, error) {
-			if r.Dir() != "" {
-				ss, err := LoadSharded(r.Dir(), id, scheme)
+			med := r.Medium()
+			if med.Persistent() {
+				ss, err := LoadShardedFS(med.Files(), med.Path(), id, scheme)
 				if err == nil && ss.DataSum == sum && ss.ShardCount() == n && ss.Partitioner == p.Name() {
 					for range ss.Stores {
 						r.NoteLoad()
+					}
+					// A crash between a durable log append and the generation
+					// checkpoint leaves acknowledged batches only in the log:
+					// replay them so the restart resumes at the exact applied
+					// version, just like a plain store.
+					if err := replayShardedLog(r, med, ss); err != nil {
+						return nil, fmt.Errorf("shard: register %q: %w", id, err)
 					}
 					return ss, nil
 				}
@@ -462,8 +479,13 @@ func RegisterShardedContext(ctx context.Context, r *store.Registry, id string, s
 			for range ss.Stores {
 				r.NotePreprocess()
 			}
-			if r.Dir() != "" {
-				if err := SaveSharded(r.Dir(), id, ss, p.Name()); err != nil {
+			if med.Persistent() {
+				if err := SaveShardedFS(med.Files(), med.Path(), id, ss, p.Name()); err != nil {
+					return nil, err
+				}
+				// A fresh build supersedes any delta log a previous
+				// incarnation of this ID left behind.
+				if err := store.RemoveLog(med.Files(), store.LogPath(med.Path(), id)); err != nil {
 					return nil, err
 				}
 			}
@@ -477,4 +499,62 @@ func RegisterShardedContext(ctx context.Context, r *store.Registry, id string, s
 		return nil, fmt.Errorf("shard: dataset %q is not a sharded store", id)
 	}
 	return ss, nil
+}
+
+// replayShardedLog applies the delta-log tail to a manifest-loaded sharded
+// store — the sharded twin of the registry's plain-store replay, with the
+// same alignment rules: records wholly inside the loaded generation skip,
+// the record starting exactly at the loaded version applies (memory-only —
+// the log already holds it durably), and a gap or straddle means an
+// acknowledged batch vanished and errors. A non-empty replay is folded
+// into a fresh generation checkpoint; a failed checkpoint is not fatal —
+// the log stays authoritative and the next restart replays again.
+func replayShardedLog(r *store.Registry, med *store.Medium, ss *ShardedStore) error {
+	fsys := med.Files()
+	logPath := store.LogPath(med.Path(), ss.ID)
+	records, err := store.ReadLog(fsys, logPath)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return nil
+	}
+	inc := r.IncrementalFor(ss.Scheme.Name())
+	replayStart := obs.Start()
+	replayed := 0
+	for i, rec := range records {
+		v := ss.Version()
+		end := rec.FromVersion + uint64(len(rec.Deltas))
+		if end <= v {
+			continue // fully inside the checkpointed generation
+		}
+		if rec.FromVersion != v {
+			return fmt.Errorf("replay log %s: record %d covers versions [%d,%d) but the manifest is at %d — an acknowledged batch is missing",
+				logPath, i, rec.FromVersion, end, v)
+		}
+		if inc == nil {
+			return fmt.Errorf("replay log %s: scheme %s has no incremental form to replay %d logged deltas",
+				logPath, ss.Scheme.Name(), len(rec.Deltas))
+		}
+		if _, err := ss.ApplyDeltas(context.Background(), inc, rec.Deltas, nil); err != nil {
+			return fmt.Errorf("replay log %s: record %d: %w", logPath, i, err)
+		}
+		replayed++
+		r.NoteReplay()
+	}
+	obsLogReplay.Since(replayStart)
+	// Fold the replayed state into a checkpoint (or drop a log that was
+	// entirely stale). Save-then-remove: losing the log before a generation
+	// holds its records would lose acknowledged batches.
+	if replayed > 0 {
+		if err := SaveShardedFS(fsys, med.Path(), ss.ID, ss, ss.Partitioner); err != nil {
+			obsCheckpointFails.Inc()
+			return nil
+		}
+		sweepShardGenerations(fsys, med.Path(), ss.ID, ss.Version())
+	}
+	if err := store.RemoveLog(fsys, logPath); err != nil {
+		obsCheckpointFails.Inc()
+	}
+	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"pitract/internal/core"
 	"pitract/internal/graph"
 	"pitract/internal/schemes"
 )
@@ -430,6 +431,19 @@ func (rs *reachSummary) hasCross(u, v int) bool {
 	return false
 }
 
+// removeCross drops the first copy of (u,v) (either orientation for
+// undirected graphs) from the cross-edge list, reporting whether it was
+// present.
+func (rs *reachSummary) removeCross(u, v int) bool {
+	for i, e := range rs.cross {
+		if (e[0] == u && e[1] == v) || (!rs.directed && e[0] == v && e[1] == u) {
+			rs.cross = append(rs.cross[:i], rs.cross[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // decodeEdgeDelta parses and validates one edge-insert delta against the
 // summary's vertex universe.
 func decodeEdgeDelta(delta []byte, rs *reachSummary) (u, v int, err error) {
@@ -443,14 +457,21 @@ func decodeEdgeDelta(delta []byte, rs *reachSummary) (u, v int, err error) {
 	return u, v, nil
 }
 
-// splitReachDelta routes an edge insert: a same-shard edge becomes a local
-// relabelled insert on its owning shard (both orientations for undirected
-// graphs, matching ⊕'s AddEdge); a cross-shard edge touches no shard —
-// induced subgraphs exclude cross edges — and lands entirely on the
-// summary.
+// splitReachDelta routes an edge delta: a same-shard edge becomes a local
+// relabelled delta of the same kind on its owning shard; a cross-shard
+// edge touches no shard — induced subgraphs exclude cross edges — and
+// lands entirely on the summary. Inserts on undirected graphs keep the
+// historical two-orientation encoding (the second is an idempotent no-op
+// now that the scheme's AddEdge stores both arcs); deletes send exactly
+// one local delta, because the scheme's RemoveEdge drops both arcs and a
+// second delete would error as edge-not-present.
 func splitReachDelta(delta []byte, asn Assignment, summary interface{}) (map[int][][]byte, error) {
 	rs := summary.(*reachSummary)
-	u, v, err := decodeEdgeDelta(delta, rs)
+	kind, payload, err := core.DeltaParts(delta)
+	if err != nil {
+		return nil, err
+	}
+	u, v, err := decodeEdgeDelta(payload, rs)
 	if err != nil {
 		return nil, err
 	}
@@ -458,26 +479,34 @@ func splitReachDelta(delta []byte, asn Assignment, summary interface{}) (map[int
 	if su != sv {
 		return nil, nil
 	}
-	lds := [][]byte{schemes.NodePairQuery(int(rs.local[u]), int(rs.local[v]))}
-	if !rs.directed {
-		lds = append(lds, schemes.NodePairQuery(int(rs.local[v]), int(rs.local[u])))
+	local := schemes.NodePairQuery(int(rs.local[u]), int(rs.local[v]))
+	lds := [][]byte{core.TagDelta(kind, local)}
+	if !rs.directed && kind != core.DeltaDelete {
+		lds = append(lds, core.TagDelta(kind, schemes.NodePairQuery(int(rs.local[v]), int(rs.local[u]))))
 	}
 	return map[int][][]byte{su: lds}, nil
 }
 
 // updateReachSummary maintains the portal overlay's structure after one
-// edge insert: a cross-shard edge extends the cross-edge list (possibly
+// edge delta: a cross-shard insert extends the cross-edge list (possibly
 // promoting its endpoints to portals, with the closure bitset zero-padded
-// to the new portal count). The overlay closure itself is stale until
-// finishReachSummary rebuilds it — once per batch, not per delta — which
-// is safe because nothing inside the batch reads it: splitReachDelta only
-// needs the vertex universe and local relabelling, and queries keep
-// serving the committed (pre-batch) summary until the batch commits.
+// to the new portal count); a cross-shard delete drops the edge from the
+// list — erroring when it was never there, matching the unsharded scheme's
+// strict edge-delete contract — and demotes portals that lost their last
+// cross edge. The overlay closure itself is stale until finishReachSummary
+// rebuilds it — once per batch, not per delta — which is safe because
+// nothing inside the batch reads it: splitReachDelta only needs the vertex
+// universe and local relabelling, and queries keep serving the committed
+// (pre-batch) summary until the batch commits.
 func updateReachSummary(delta []byte, asn Assignment, summary []byte, probe Probe) ([]byte, error) {
+	kind, payload, err := core.DeltaParts(delta)
+	if err != nil {
+		return nil, err
+	}
 	// A same-shard edge changes no summary structure (SplitDelta already
 	// validated the endpoints), so it skips the summary decode/encode
 	// round-trip entirely; only genuine cross edges pay it.
-	u, v, err := schemes.DecodeNodePairQuery(delta)
+	u, v, err := schemes.DecodeNodePairQuery(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -488,13 +517,22 @@ func updateReachSummary(delta []byte, asn Assignment, summary []byte, probe Prob
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := decodeEdgeDelta(delta, rs); err != nil {
+	if _, _, err := decodeEdgeDelta(payload, rs); err != nil {
 		return nil, err
 	}
-	if !rs.hasCross(u, v) {
-		rs.cross = append(rs.cross, [2]int{u, v})
+	switch kind {
+	case core.DeltaDelete:
+		if !rs.removeCross(u, v) {
+			return nil, fmt.Errorf("shard: cross edge (%d,%d) not present", u, v)
+		}
 		rs.recomputePortals(asn)
 		rs.closure = make([]byte, (len(rs.portals)*len(rs.portals)+7)/8)
+	default: // insert and upsert: idempotent when the edge is present
+		if !rs.hasCross(u, v) {
+			rs.cross = append(rs.cross, [2]int{u, v})
+			rs.recomputePortals(asn)
+			rs.closure = make([]byte, (len(rs.portals)*len(rs.portals)+7)/8)
+		}
 	}
 	return encodeReachSummary(rs), nil
 }

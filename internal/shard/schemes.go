@@ -10,6 +10,7 @@ package shard
 import (
 	"fmt"
 
+	"pitract/internal/core"
 	"pitract/internal/relation"
 	"pitract/internal/schemes"
 )
@@ -110,13 +111,18 @@ func splitRelation(data []byte, asn Assignment) ([][]byte, error) {
 	return out, nil
 }
 
-// splitKeysDelta routes a key-insertion batch (schemes.KeysDelta) to the
-// shards that own the new keys under the frozen assignment — the sharded
-// delta path of every key-partitioned scheme. Each shard receives one
-// local KeysDelta holding exactly its keys, applied through the same
-// sorted-file merge an unsharded store uses.
+// splitKeysDelta routes a key batch (schemes.KeysDelta and its delete and
+// upsert variants) to the shards that own the keys under the frozen
+// assignment — the sharded delta path of every key-partitioned scheme.
+// Each shard receives one local batch of its own keys carrying the same
+// delta kind, applied through the same sorted-file merge (or tombstone
+// merge) an unsharded store uses.
 func splitKeysDelta(delta []byte, asn Assignment, _ interface{}) (map[int][][]byte, error) {
-	keys, err := schemes.DecodeList(delta)
+	kind, payload, err := core.DeltaParts(delta)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := schemes.DecodeList(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +133,7 @@ func splitKeysDelta(delta []byte, asn Assignment, _ interface{}) (map[int][][]by
 	}
 	out := make(map[int][][]byte, len(groups))
 	for s, g := range groups {
-		out[s] = [][]byte{schemes.KeysDelta(g)}
+		out[s] = [][]byte{core.TagDelta(kind, schemes.EncodeList(g))}
 	}
 	return out, nil
 }

@@ -52,6 +52,12 @@ var (
 	obsWarm         = obs.Stage(obs.StageWarm)
 	obsPatchApply   = obs.Stage(obs.StagePatchApply)
 	obsPatchPersist = obs.Stage(obs.StagePatchPersist)
+	obsLogAppend    = obs.Stage(obs.StageLogAppend)
+	obsLogReplay    = obs.Stage(obs.StageLogReplay)
+	// Same family the plain store reports into — the obs registry returns
+	// the one shared counter for the name.
+	obsCheckpointFails = obs.Default.Counter("pitract_checkpoint_failures_total",
+		"Checkpoint (snapshot rewrite + log truncate) failures after a durable log append.")
 )
 
 // Probe answers a follow-up local query against one shard during Merge —
@@ -169,6 +175,10 @@ type ShardedStore struct {
 	// version counts the deltas applied since registration (restored from
 	// the manifest on reload).
 	version uint64
+	// walRecords counts delta-log records appended since the last
+	// generation checkpoint (guarded by maintMu); when it reaches the
+	// medium's cadence a new generation is written and the log truncated.
+	walRecords int
 
 	// prepared memoizes Sharding.Prepare(Summary) for the answer paths;
 	// ApplyDeltas refreshes it when a delta changes the summary.
@@ -500,18 +510,26 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 // FinishSummary), probing the pending post-delta shard state. The whole
 // batch is staged outside the served state — under the maintenance mutex,
 // never the reader-blocking lock — and committed at once: per-shard
-// strings, summary, and version swap together under the writer lock, and
-// with dir non-empty the new shard snapshots and manifest are durably on
-// disk (new generation files first, manifest rename as the atomic commit
-// point) before the in-memory commit. Any failure leaves the dataset, its
-// registry entry, and its persisted artifacts exactly as they were.
+// strings, summary, and version swap together under the writer lock.
 //
-// ctx bounds the batch (checked before each delta and before the persist
-// step): a budget that expires mid-batch aborts with nothing applied.
+// With a persistent medium the commit protocol is write-ahead, exactly as
+// for a plain store: the original (top-level) deltas are appended to the
+// dataset's delta log — CRC-framed and fsynced — before any served state
+// changes. The log append is the commit point: a failure there aborts the
+// batch with nothing applied (PersistError); once the record is durable
+// the batch commits unconditionally. On the medium's checkpoint cadence a
+// fresh shard generation is written (new generation files first, manifest
+// rename as the atomic commit point) and the log truncated; a checkpoint
+// failure after a durable append is counted and retried on the next batch
+// — the log stays authoritative and a restart replays it on top of the
+// manifest's generation.
+//
+// ctx bounds the batch (checked before each delta and before the commit
+// point): a budget that expires mid-batch aborts with nothing applied.
 //
 // Schemes whose sharded form has no delta routing (SplitDelta == nil)
 // refuse cleanly; the HTTP layer surfaces that as a 409.
-func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
+func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, med *store.Medium) (uint64, error) {
 	if ss.Sharding.SplitDelta == nil {
 		return ss.Version(), fmt.Errorf("shard: scheme %s has no sharded delta routing; re-register unsharded to maintain it",
 			ss.Scheme.Name())
@@ -519,7 +537,7 @@ func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalSc
 	if inc == nil || inc.ApplyDelta == nil {
 		return ss.Version(), fmt.Errorf("shard: scheme %s has no incremental form", ss.Scheme.Name())
 	}
-	if dir != "" && ss.ID == "" {
+	if med.Persistent() && ss.ID == "" {
 		return ss.Version(), fmt.Errorf("shard: cannot persist deltas for a store with no dataset ID")
 	}
 	// An empty batch is a no-op, never a persistence round-trip: writing
@@ -600,12 +618,27 @@ func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalSc
 	if err := ctx.Err(); err != nil {
 		return oldVersion, fmt.Errorf("shard: %w (nothing applied)", err)
 	}
-	if dir != "" {
-		persistStart := obs.Start()
-		if err := ss.saveMaintainedStaged(dir, pending, summary, newVersion); err != nil {
-			return oldVersion, &store.PersistError{Err: fmt.Errorf("shard: persist maintained snapshots: %w (nothing applied)", err)}
+	checkpointed := false
+	if med.Persistent() {
+		fsys := med.Files()
+		appendStart := obs.Start()
+		if err := store.AppendLogRecord(fsys, store.LogPath(med.Path(), ss.ID), oldVersion, deltas); err != nil {
+			return oldVersion, &store.PersistError{Err: fmt.Errorf("shard: log delta batch: %w (nothing applied)", err)}
 		}
-		obsPatchPersist.Since(persistStart)
+		obsLogAppend.Since(appendStart)
+		ss.walRecords++
+		if ss.walRecords >= med.Cadence() {
+			persistStart := obs.Start()
+			if err := ss.saveMaintainedStaged(fsys, med.Path(), pending, summary, newVersion); err != nil {
+				obsCheckpointFails.Inc()
+			} else if err := store.RemoveLog(fsys, store.LogPath(med.Path(), ss.ID)); err != nil {
+				obsCheckpointFails.Inc()
+			} else {
+				ss.walRecords = 0
+				checkpointed = true
+				obsPatchPersist.Since(persistStart)
+			}
+		}
 	}
 	var prepared interface{}
 	var prepErr error
@@ -654,8 +687,11 @@ func (ss *ShardedStore) ApplyDeltas(ctx context.Context, inc *core.IncrementalSc
 	ss.prepared, ss.prepErr, ss.prepDone = prepared, prepErr, ss.Sharding.Prepare != nil
 	ss.prepMu.Unlock()
 	ss.mu.Unlock()
-	if dir != "" {
-		sweepShardGenerations(dir, ss.ID, newVersion)
+	// Sweep only after a successful checkpoint: between checkpoints the
+	// manifest still names the previous generation's files, which must
+	// survive for replay-over-manifest recovery.
+	if checkpointed {
+		sweepShardGenerations(med.Files(), med.Path(), ss.ID, newVersion)
 	}
 	return newVersion, nil
 }

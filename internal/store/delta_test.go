@@ -44,13 +44,30 @@ func deltaCases(seed int64) []deltaCase {
 		keys[i] = int64(rng.Intn(200) * 2)
 	}
 	keyDeltas := func() [][]byte {
-		ds := make([][]byte, 6)
-		for i := range ds {
+		// The fixed prefix spans the full dynamism story — delete present
+		// keys alongside an absent tombstone, re-insert one via upsert,
+		// delete it again — and the random tail mixes all three kinds
+		// (tombstones are idempotent, so random delete targets are safe).
+		// Eight deltas put delete/re-insert on both sides of the
+		// save→reload boundary (half = 4).
+		ds := [][]byte{
+			schemes.KeysDeleteDelta([]int64{keys[0], keys[1], 900_001}),
+			schemes.KeysUpsertDelta([]int64{keys[0], keys[2]}),
+			schemes.KeysDeleteDelta([]int64{keys[0]}),
+		}
+		for len(ds) < 8 {
 			batch := make([]int64, 1+rng.Intn(4))
 			for j := range batch {
 				batch[j] = int64(rng.Intn(500)) // mix of fresh, duplicate, odd, even
 			}
-			ds[i] = schemes.KeysDelta(batch)
+			switch rng.Intn(3) {
+			case 0:
+				ds = append(ds, schemes.KeysDelta(batch))
+			case 1:
+				ds = append(ds, schemes.KeysDeleteDelta(batch))
+			default:
+				ds = append(ds, schemes.KeysUpsertDelta(batch))
+			}
 		}
 		return ds
 	}
@@ -70,13 +87,33 @@ func deltaCases(seed int64) []deltaCase {
 		return ps
 	}
 	g := graph.CommunityGraph(4, 10, 16, seed)
-	edgeDeltas := make([][]byte, 6)
-	for i := range edgeDeltas {
-		u, v := rng.Intn(g.N()), rng.Intn(g.N())
-		for u == v {
-			v = rng.Intn(g.N())
+	// Edge retraction of an absent edge is an error (unlike key
+	// tombstones), so deletes target edges this sequence itself inserted,
+	// on pairs absent from the base graph — insert, delete, re-insert via
+	// upsert, delete again, with the save→reload boundary (half = 4) in
+	// the middle of the churn.
+	freshPair := func(used map[[2]int]bool) (int, int) {
+		for {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u != v && !g.HasEdge(u, v) && !used[[2]int{u, v}] {
+				used[[2]int{u, v}] = true
+				return u, v
+			}
 		}
-		edgeDeltas[i] = schemes.EdgeDelta(u, v)
+	}
+	used := map[[2]int]bool{}
+	u1, v1 := freshPair(used)
+	u2, v2 := freshPair(used)
+	u3, v3 := freshPair(used)
+	edgeDeltas := [][]byte{
+		schemes.EdgeDelta(u1, v1),
+		schemes.EdgeDelta(u2, v2),
+		schemes.EdgeDeleteDelta(u1, v1),
+		schemes.EdgeUpsertDelta(u1, v1), // re-insert across the reload boundary
+		schemes.EdgeDeleteDelta(u2, v2),
+		schemes.EdgeDeleteDelta(u1, v1), // delete the upserted edge again
+		schemes.EdgeDelta(u3, v3),
+		schemes.EdgeUpsertDelta(u3, v3), // upsert of a present edge: no-op
 	}
 	pairProbes := make([][]byte, 0, 200)
 	for i := 0; i < 200; i++ {
@@ -126,9 +163,24 @@ func undirectedReachCase(seed int64) deltaCase {
 	for v := 13; v < 24; v++ {
 		g.MustAddEdge(v, 12+rng.Intn(v-12))
 	}
-	deltas := make([][]byte, 5)
-	for i := range deltas {
-		deltas[i] = schemes.EdgeDelta(rng.Intn(12), 12+rng.Intn(12))
+	a, b := rng.Intn(12), 12+rng.Intn(12)
+	other := func() (int, int) {
+		for {
+			u, v := rng.Intn(12), 12+rng.Intn(12)
+			if u != a || v != b {
+				return u, v
+			}
+		}
+	}
+	o1u, o1v := other()
+	o2u, o2v := other()
+	deltas := [][]byte{
+		schemes.EdgeDelta(a, b),
+		schemes.EdgeDelta(o1u, o1v),
+		schemes.EdgeDeleteDelta(b, a), // reversed orientation: undirected delete
+		schemes.EdgeUpsertDelta(a, b), // re-bridge the components
+		schemes.EdgeDeleteDelta(a, b),
+		schemes.EdgeDelta(o2u, o2v),
 	}
 	probes := make([][]byte, 0, 200)
 	for i := 0; i < 200; i++ {
@@ -370,6 +422,93 @@ func TestConcurrentDeltasAndQueries(t *testing.T) {
 	wg.Wait()
 	if got := st.Version(); got != deltas {
 		t.Fatalf("final version %d, want %d", got, deltas)
+	}
+}
+
+// TestConcurrentMixedDeltasAndQueries races a writer of mixed
+// insert+delete batches against readers under the race detector. Batch i
+// atomically inserts key 1001+2i and deletes original key 2i, so any query
+// that observes version ≥ i+1 must see the inserted key AND must NOT see
+// the deleted one — a deleted key reappearing (a torn merge, a lost
+// tombstone) is the invariant this test exists to catch.
+func TestConcurrentMixedDeltasAndQueries(t *testing.T) {
+	reg := NewRegistry("") // memory-only: the race is in the swap, not the file
+	keys := make([]int64, 64)
+	for i := range keys {
+		keys[i] = int64(2 * i)
+	}
+	st, err := reg.Register("d", schemes.PointSelectionScheme(), schemes.RelationFromKeys(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deltas = 40
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < deltas; i++ {
+			batch := [][]byte{
+				schemes.KeysDelta([]int64{int64(1001 + 2*i)}),
+				schemes.KeysDeleteDelta([]int64{int64(2 * i)}),
+			}
+			if _, err := reg.ApplyDelta("d", batch); err != nil {
+				t.Errorf("batch %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			var lastVersion uint64
+			for j := 0; j < 400; j++ {
+				i := rng.Intn(deltas)
+				v := st.Version()
+				if v < lastVersion {
+					t.Errorf("version went backwards: %d after %d", v, lastVersion)
+					return
+				}
+				lastVersion = v
+				// Versions count deltas and each batch holds two, so batch
+				// i is committed once the version reaches 2(i+1).
+				if v < uint64(2*(i+1)) {
+					continue // batch i not committed yet; nothing to assert
+				}
+				ok, err := st.Answer(schemes.PointQuery(int64(1001 + 2*i)))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if !ok {
+					t.Errorf("version %d claims batch %d applied but its inserted key is invisible", v, i)
+					return
+				}
+				gone, err := st.Answer(schemes.PointQuery(int64(2 * i)))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if gone {
+					t.Errorf("version %d claims batch %d applied but its deleted key 2*%d reappeared", v, i, i)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := st.Version(); got != 2*deltas {
+		t.Fatalf("final version %d, want %d", got, 2*deltas)
+	}
+	// Post-race sweep: every tombstone stuck, every insert stuck.
+	for i := 0; i < deltas; i++ {
+		if ok, _ := st.Answer(schemes.PointQuery(int64(2 * i))); ok {
+			t.Fatalf("deleted key %d reappeared after the race", 2*i)
+		}
+		if ok, _ := st.Answer(schemes.PointQuery(int64(1001 + 2*i))); !ok {
+			t.Fatalf("inserted key %d lost after the race", 1001+2*i)
+		}
 	}
 }
 

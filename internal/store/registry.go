@@ -29,6 +29,11 @@ var (
 		"Stores reloaded from snapshots instead of preprocessed.")
 	obsDeltasTotal = obs.Default.Counter("pitract_deltas_applied_total",
 		"Deltas applied through incremental maintenance.")
+	obsDeltasDeletedTotal = obs.Default.Counter("pitract_deltas_deleted_total",
+		"Delete-kind deltas applied through incremental maintenance.")
+	obsLogReplay        = obs.Stage(obs.StageLogReplay)
+	obsLogReplayedTotal = obs.Default.Counter("pitract_log_records_replayed_total",
+		"Delta-log records replayed over loaded snapshots at registry open.")
 )
 
 // Dataset is anything the registry can serve queries from: a plain Store
@@ -74,12 +79,15 @@ type Dataset interface {
 type DeltaDataset interface {
 	Dataset
 	// ApplyDeltas applies the deltas in order through the scheme's
-	// incremental form, persisting the maintained artifact under dir
-	// ("" = memory only), and returns the new maintenance version. ctx
+	// incremental form, persisting the maintained artifact on med (nil or
+	// zero Medium = memory only), and returns the new maintenance version.
+	// With a persistent medium the batch is appended to the dataset's
+	// write-ahead delta log (fsynced) before any served state changes — the
+	// durable commit point — and checkpointed on the medium's cadence. ctx
 	// bounds the work: a deadline or cancellation between deltas aborts the
 	// whole batch with nothing applied (deltas are the cancellation
 	// granularity — a single delta application is never torn).
-	ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error)
+	ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, med *Medium) (uint64, error)
 }
 
 // Registry maps dataset IDs to preprocessed datasets. Registering a dataset
@@ -96,7 +104,7 @@ type DeltaDataset interface {
 // The registry is safe for concurrent use; Answer paths never hold the
 // registry lock (the preprocessed bytes are immutable).
 type Registry struct {
-	dir string // "" = memory-only, no persistence
+	med *Medium // nil or zero Dir = memory-only, no persistence
 
 	mu      sync.Mutex
 	entries map[string]*regEntry
@@ -109,6 +117,8 @@ type Registry struct {
 	preprocessCount atomic.Int64
 	loadCount       atomic.Int64
 	deltaCount      atomic.Int64
+	deleteCount     atomic.Int64
+	replayCount     atomic.Int64
 }
 
 // regEntry is a future for one dataset: done closes once ds/err are set,
@@ -126,11 +136,34 @@ type regEntry struct {
 	abandoned bool
 }
 
-// NewRegistry returns a registry persisting snapshots under dir; dir == ""
-// keeps every store in memory only.
+// NewRegistry returns a registry persisting snapshots (and write-ahead
+// delta logs) under dir on the real disk; dir == "" keeps every store in
+// memory only.
 func NewRegistry(dir string) *Registry {
-	return &Registry{dir: dir, entries: map[string]*regEntry{}}
+	return NewRegistryMedium(DiskMedium(dir))
 }
+
+// NewRegistryMedium is NewRegistry on an explicit persistence medium — the
+// seam the crash-injection harness uses to run the full durable protocol
+// (snapshots, delta logs, checkpoints, replay) against a fault-injecting
+// file layer. A nil med is memory-only.
+func NewRegistryMedium(med *Medium) *Registry {
+	if med == nil {
+		med = &Medium{}
+	}
+	return &Registry{med: med, entries: map[string]*regEntry{}}
+}
+
+// Medium exposes the registry's persistence medium, so composite
+// registrations (internal/shard) persist through the same file layer and
+// checkpoint cadence the registry itself uses.
+func (r *Registry) Medium() *Medium { return r.med }
+
+// SetCheckpointEvery sets how many delta-log records may accumulate per
+// dataset before its snapshot is rewritten and the log truncated (values
+// < 1 mean 1 — checkpoint on every PATCH). Set it before serving traffic;
+// it is not synchronized against in-flight maintenance.
+func (r *Registry) SetCheckpointEvery(n int) { r.med.CheckpointEvery = n }
 
 // SetIncrementalResolver overrides how ApplyDelta resolves a scheme's
 // incremental form by name (nil restores the built-in schemes catalog).
@@ -142,8 +175,12 @@ func (r *Registry) SetIncrementalResolver(f func(string) *core.IncrementalScheme
 	r.mu.Unlock()
 }
 
-// incrementalFor resolves a scheme's incremental form.
-func (r *Registry) incrementalFor(name string) *core.IncrementalScheme {
+// IncrementalFor resolves a scheme's incremental form through the
+// registry's resolver (the built-in schemes catalog unless
+// SetIncrementalResolver overrode it). Composite registrations
+// (internal/shard) use it to replay a sharded dataset's delta log with the
+// same resolution ApplyDelta will serve with.
+func (r *Registry) IncrementalFor(name string) *core.IncrementalScheme {
 	r.mu.Lock()
 	f := r.incResolver
 	r.mu.Unlock()
@@ -154,7 +191,7 @@ func (r *Registry) incrementalFor(name string) *core.IncrementalScheme {
 }
 
 // Dir reports the snapshot directory ("" when memory-only).
-func (r *Registry) Dir() string { return r.dir }
+func (r *Registry) Dir() string { return r.med.Dir }
 
 // SnapshotPath maps a dataset ID to its snapshot file under dir. IDs are
 // arbitrary strings, so the filename is the ID path-escaped (keeps readable
@@ -167,7 +204,7 @@ func SnapshotPath(dir, id string) string {
 
 // snapshotPath is SnapshotPath under the registry's own directory.
 func (r *Registry) snapshotPath(id string) string {
-	return SnapshotPath(r.dir, id)
+	return SnapshotPath(r.med.Dir, id)
 }
 
 // RegisterDataset returns the dataset registered under id, building it on
@@ -344,9 +381,10 @@ func (r *Registry) RegisterContext(ctx context.Context, id string, scheme *core.
 // build produces the store for one first-time registration.
 func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, error) {
 	sum := SumData(data)
-	if r.dir != "" {
+	if r.med.persistent() {
+		fsys := r.med.fs()
 		loadStart := obs.Start()
-		if snap, err := Load(r.snapshotPath(id)); err == nil &&
+		if snap, err := LoadFS(fsys, r.snapshotPath(id)); err == nil &&
 			snap.SchemeName == scheme.Name() && snap.DataSum == sum {
 			obsSnapshotLoad.Since(loadStart)
 			r.loadCount.Add(1)
@@ -356,6 +394,12 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 			// resuming from it (not from a re-preprocess of D) is the whole
 			// point of persisting maintenance.
 			st.SetVersion(snap.Version)
+			// A crash between a durable log append and the checkpoint leaves
+			// acknowledged batches only in the log: replay them on top of the
+			// snapshot so the restart resumes at the exact applied version.
+			if err := r.replayLog(st); err != nil {
+				return nil, fmt.Errorf("store: register %q: %w", id, err)
+			}
 			// Decode Π into its prepared form while still inside the one
 			// build this registration runs — queries then pay only probes.
 			warmStart := obs.Start()
@@ -373,17 +417,97 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 	r.preprocessCount.Add(1)
 	obsPreprocessTotal.Inc()
 	st := &Store{ID: id, Scheme: scheme, Prep: pd, DataSum: sum}
-	if r.dir != "" {
+	if r.med.persistent() {
+		fsys := r.med.fs()
 		saveStart := obs.Start()
-		if err := Save(r.snapshotPath(id), st.Snapshot()); err != nil {
+		if err := SaveFS(fsys, r.snapshotPath(id), st.Snapshot()); err != nil {
 			return nil, err
 		}
 		obsSnapshotSave.Since(saveStart)
+		// A fresh preprocess supersedes any delta log a previous incarnation
+		// of this ID left behind (different data or scheme): its records
+		// apply to a Π that no longer exists.
+		if err := RemoveLog(fsys, LogPath(r.med.Dir, id)); err != nil {
+			return nil, err
+		}
 	}
 	warmStart := obs.Start()
 	st.Warm()
 	obsWarm.Since(warmStart)
 	return st, nil
+}
+
+// replayLog applies the delta-log tail to a snapshot-loaded store. Records
+// wholly at or below the snapshot version are already checkpointed and
+// skip; the record starting exactly at the loaded version applies
+// (memory-only — the log already holds it durably); a gap or straddle
+// means an acknowledged batch vanished (lying fsync, foreign truncation)
+// and errors rather than silently resuming behind acknowledged state.
+// After a non-empty replay the store checkpoints: snapshot rewritten at
+// the replayed version, log truncated. A failed checkpoint here is not
+// fatal — the log stays authoritative and the next restart replays again.
+func (r *Registry) replayLog(st *Store) error {
+	fsys := r.med.fs()
+	logPath := LogPath(r.med.Dir, st.ID)
+	records, err := ReadLog(fsys, logPath)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return nil
+	}
+	inc := r.IncrementalFor(st.Scheme.Name())
+	replayStart := obs.Start()
+	replayed := 0
+	for i, rec := range records {
+		v := st.Version()
+		end := rec.FromVersion + uint64(len(rec.Deltas))
+		if end <= v {
+			continue // fully inside the checkpoint
+		}
+		if rec.FromVersion != v {
+			return fmt.Errorf("replay log %s: record %d covers versions [%d,%d) but the snapshot is at %d — an acknowledged batch is missing",
+				logPath, i, rec.FromVersion, end, v)
+		}
+		if inc == nil {
+			return fmt.Errorf("replay log %s: scheme %s has no incremental form to replay %d logged deltas",
+				logPath, st.Scheme.Name(), len(rec.Deltas))
+		}
+		if _, err := st.ApplyDeltas(context.Background(), inc, rec.Deltas, nil); err != nil {
+			return fmt.Errorf("replay log %s: record %d: %w", logPath, i, err)
+		}
+		replayed++
+		r.replayCount.Add(1)
+		obsLogReplayedTotal.Inc()
+	}
+	obsLogReplay.Since(replayStart)
+	// Fold the replayed state into a checkpoint (or drop a log that was
+	// entirely stale). Save-then-remove: losing the log before the snapshot
+	// holds its records would lose acknowledged batches.
+	if replayed > 0 {
+		if err := SaveFS(fsys, r.snapshotPath(st.ID), st.Snapshot()); err != nil {
+			obsCheckpointFails.Inc()
+			return nil
+		}
+	}
+	if err := RemoveLog(fsys, logPath); err != nil {
+		obsCheckpointFails.Inc()
+	}
+	return nil
+}
+
+// ReplayCount reports how many delta-log records this registry has
+// replayed over loaded snapshots — non-zero after a restart that recovered
+// acknowledged-but-not-checkpointed batches.
+func (r *Registry) ReplayCount() int64 { return r.replayCount.Load() }
+
+// NoteReplay folds an externally replayed delta-log record into the
+// registry's replay counters (one call per record); internal/shard's
+// sharded replay reports through it, as NotePreprocess/NoteLoad do for
+// builds and reloads.
+func (r *Registry) NoteReplay() {
+	r.replayCount.Add(1)
+	obsLogReplayedTotal.Inc()
 }
 
 // NotFoundError reports an ApplyDelta against an id with no completed
@@ -467,7 +591,7 @@ func (r *Registry) ApplyDeltaContext(ctx context.Context, id string, deltas [][]
 	if len(deltas) == 0 {
 		return ds.Version(), fmt.Errorf("store: dataset %q: empty delta batch", id)
 	}
-	inc := r.incrementalFor(ds.SchemeName())
+	inc := r.IncrementalFor(ds.SchemeName())
 	if inc == nil {
 		return ds.Version(), fmt.Errorf("store: dataset %q: scheme %s has no incremental form (maintainable: %v)",
 			id, ds.SchemeName(), schemes.MaintainableSchemes())
@@ -476,7 +600,7 @@ func (r *Registry) ApplyDeltaContext(ctx context.Context, id string, deltas [][]
 	if !ok {
 		return ds.Version(), fmt.Errorf("store: dataset %q does not support in-place maintenance", id)
 	}
-	v, err := dd.ApplyDeltas(ctx, inc, deltas, r.dir)
+	v, err := dd.ApplyDeltas(ctx, inc, deltas, r.med)
 	if err != nil {
 		var be *BudgetError
 		if errors.As(err, &be) {
@@ -489,6 +613,16 @@ func (r *Registry) ApplyDeltaContext(ctx context.Context, id string, deltas [][]
 	}
 	r.deltaCount.Add(int64(len(deltas)))
 	obsDeltasTotal.Add(int64(len(deltas)))
+	deleted := int64(0)
+	for _, d := range deltas {
+		if core.DeltaKindOf(d) == core.DeltaDelete {
+			deleted++
+		}
+	}
+	if deleted > 0 {
+		r.deleteCount.Add(deleted)
+		obsDeltasDeletedTotal.Add(deleted)
+	}
 	return v, nil
 }
 
@@ -497,6 +631,10 @@ func (r *Registry) ApplyDeltaContext(ctx context.Context, id string, deltas [][]
 // PreprocessCount and LoadCount. It counts every ApplyDelta caller, HTTP
 // or library-side.
 func (r *Registry) DeltaCount() int64 { return r.deltaCount.Load() }
+
+// DeleteCount reports how many of the applied deltas were delete-kind —
+// the dynamism counter /v1/stats serves as deltas_deleted.
+func (r *Registry) DeleteCount() int64 { return r.deleteCount.Load() }
 
 // Get returns the plain store registered under id, if any. Registrations
 // still in flight count as present: Get waits for them, so a Get racing a

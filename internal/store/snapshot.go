@@ -26,20 +26,24 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"pitract/internal/core"
 	"pitract/internal/obs"
 )
 
-// PATCH-maintenance stage histograms: the incremental in-memory apply and
-// the snapshot rewrite are timed separately so dashboards can tell CPU-bound
-// maintenance apart from fsync-bound persistence.
+// PATCH-maintenance stage histograms: the incremental in-memory apply, the
+// log append (the commit point), and the checkpoint rewrite are timed
+// separately so dashboards can tell CPU-bound maintenance apart from
+// fsync-bound persistence. Checkpoint failures after a durable log append
+// are counted, not fatal — the log stays authoritative and the next batch
+// retries the checkpoint.
 var (
-	obsPatchApply   = obs.Stage(obs.StagePatchApply)
-	obsPatchPersist = obs.Stage(obs.StagePatchPersist)
+	obsPatchApply      = obs.Stage(obs.StagePatchApply)
+	obsPatchPersist    = obs.Stage(obs.StagePatchPersist)
+	obsLogAppend       = obs.Stage(obs.StageLogAppend)
+	obsCheckpointFails = obs.Default.Counter("pitract_checkpoint_failures_total",
+		"Checkpoint (snapshot rewrite + log truncate) failures after a durable log append.")
 )
 
 // snapshotMagic opens every snapshot file. The trailing byte is the format
@@ -146,46 +150,29 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// WriteFileAtomic writes b to path atomically: temp file in the target
-// directory, fsync, rename. A crash mid-write leaves either the old file or
-// none — never a torn one. It is the durability primitive behind Save and
-// the shard manifest writer.
+// WriteFileAtomic is WriteFileAtomicFS on the real disk (see fs.go for the
+// crash-safety contract, including the closing directory fsync).
 func WriteFileAtomic(path string, b []byte) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: write %s: %w", path, err)
-	}
-	tmp, err := os.CreateTemp(dir, ".pitract-atomic-*")
-	if err != nil {
-		return fmt.Errorf("store: write %s: %w", path, err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: write %s: %w", path, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: write %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: write %s: %w", path, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: write %s: %w", path, err)
-	}
-	return nil
+	return WriteFileAtomicFS(OSFS, path, b)
 }
 
-// Save writes a snapshot atomically (see WriteFileAtomic); the checksum in
-// the encoding catches torn files from less careful writers.
+// Save writes a snapshot atomically (see WriteFileAtomicFS); the checksum
+// in the encoding catches torn files from less careful writers.
 func Save(path string, s *Snapshot) error {
 	return WriteFileAtomic(path, EncodeSnapshot(s))
 }
 
+// SaveFS is Save on an explicit file layer.
+func SaveFS(fsys FS, path string, s *Snapshot) error {
+	return WriteFileAtomicFS(fsys, path, EncodeSnapshot(s))
+}
+
 // Load reads and validates a snapshot file.
-func Load(path string) (*Snapshot, error) {
-	b, err := os.ReadFile(path)
+func Load(path string) (*Snapshot, error) { return LoadFS(OSFS, path) }
+
+// LoadFS is Load on an explicit file layer.
+func LoadFS(fsys FS, path string) (*Snapshot, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: load %s: %w", path, err)
 	}
@@ -238,6 +225,10 @@ type Store struct {
 	// version counts the deltas applied since registration; it only ever
 	// grows, and every applied delta bumps it by one.
 	version uint64
+	// walRecords counts delta-log records appended since the last
+	// checkpoint (guarded by maintMu); when it reaches the medium's
+	// CheckpointEvery the snapshot is rewritten and the log truncated.
+	walRecords int
 	// ans is the prepared answerer for the current Π (core.PreparedScheme):
 	// the scheme's typed decoded form, built once per Π — eagerly by Warm at
 	// registration/load, or lazily on the first answer for stores assembled
@@ -338,32 +329,39 @@ func (st *Store) Version() uint64 {
 // batch of deltas using the scheme's incremental form,
 // Π ← ApplyDelta(…ApplyDelta(Π, ∆D₁)…, ∆Dₖ), applied atomically — either
 // every delta commits and the version grows by k, or none do and the store
-// (and its snapshot) are untouched. With dir non-empty the maintained
-// snapshot is written (atomically) before the in-memory commit, so the
-// durable artifact is never behind a state a query has already observed,
-// and a restart resumes from the maintained Π; a persist failure aborts
-// the whole batch.
+// (and its durable state) are untouched.
+//
+// With a persistent medium the commit protocol is write-ahead: the batch
+// is appended to the dataset's delta log — CRC-framed and fsynced — before
+// any in-memory state changes, so the durable artifact is never behind a
+// state a query has already observed. The log append is the commit point:
+// a failure there aborts the batch with nothing applied (PersistError);
+// once the record is durable the batch commits unconditionally. When the
+// medium's checkpoint cadence is due, the maintained snapshot is rewritten
+// atomically and the log truncated; a checkpoint failure after a durable
+// append is counted and retried on the next batch — the log stays
+// authoritative and a restart replays it (see wal.go).
 //
 // ctx bounds the batch: it is checked before each delta and before the
-// persist step, so a budget that expires mid-batch aborts with nothing
+// commit point, so a budget that expires mid-batch aborts with nothing
 // applied — individual delta applications are the cancellation granularity
 // and are never torn.
 //
-// Delta application and snapshot I/O run under the maintenance mutex only
-// — the reader-blocking write lock is taken just for the final pointer
-// swap, so concurrent queries never wait on maintenance work.
+// Delta application and persistence I/O run under the maintenance mutex
+// only — the reader-blocking write lock is taken just for the final
+// pointer swap, so concurrent queries never wait on maintenance work.
 //
 // Registry.ApplyDelta is the catalog-level entry point; it resolves inc by
-// scheme name and supplies its snapshot directory.
-func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, dir string) (uint64, error) {
+// scheme name and supplies its medium.
+func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, deltas [][]byte, med *Medium) (uint64, error) {
 	if inc == nil || inc.ApplyDelta == nil {
 		return st.Version(), fmt.Errorf("store: scheme %s has no incremental form", st.Scheme.Name())
 	}
-	if dir != "" && st.ID == "" {
+	if med.persistent() && st.ID == "" {
 		return st.Version(), fmt.Errorf("store: cannot persist deltas for a store with no dataset ID")
 	}
 	if len(deltas) == 0 {
-		return st.Version(), nil // no-op, no snapshot rewrite
+		return st.Version(), nil // no-op, no log record
 	}
 	st.maintMu.Lock()
 	defer st.maintMu.Unlock()
@@ -385,14 +383,25 @@ func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, d
 		return oldVersion, fmt.Errorf("store: %w (nothing applied)", err)
 	}
 	newVersion := oldVersion + uint64(len(deltas))
-	if dir != "" {
-		persistStart := obs.Start()
-		snap := st.snapshotSkeleton()
-		snap.Prep, snap.Version = cur, newVersion
-		if err := Save(SnapshotPath(dir, st.ID), snap); err != nil {
-			return oldVersion, &PersistError{Err: fmt.Errorf("store: persist maintained snapshot: %w (nothing applied)", err)}
+	if med.persistent() {
+		fsys := med.fs()
+		appendStart := obs.Start()
+		if err := AppendLogRecord(fsys, LogPath(med.Dir, st.ID), oldVersion, deltas); err != nil {
+			return oldVersion, &PersistError{Err: fmt.Errorf("store: log delta batch: %w (nothing applied)", err)}
 		}
-		obsPatchPersist.Since(persistStart)
+		obsLogAppend.Since(appendStart)
+		st.walRecords++
+		if st.walRecords >= med.checkpointEvery() {
+			persistStart := obs.Start()
+			snap := st.snapshotSkeleton()
+			snap.Prep, snap.Version = cur, newVersion
+			if err := st.checkpoint(fsys, med.Dir, snap); err != nil {
+				obsCheckpointFails.Inc()
+			} else {
+				st.walRecords = 0
+				obsPatchPersist.Since(persistStart)
+			}
+		}
 	}
 	// The maintained Π's prepared answerer is built here, outside the
 	// reader-blocking lock, and committed with ⟨Π, version⟩ in one swap. A
@@ -402,6 +411,18 @@ func (st *Store) ApplyDeltas(ctx context.Context, inc *core.IncrementalScheme, d
 	a, aerr := st.Scheme.Prepare(cur)
 	st.ReplacePrepared(cur, newVersion, a, aerr)
 	return newVersion, nil
+}
+
+// checkpoint rewrites the durable snapshot and truncates the delta log —
+// the snapshot write is the checkpoint's commit (atomic rename + directory
+// fsync), after which every log record is at or below the snapshot version
+// and the log is dead weight. A crash between the two steps leaves a stale
+// log whose records replay as no-ops.
+func (st *Store) checkpoint(fsys FS, dir string, snap *Snapshot) error {
+	if err := SaveFS(fsys, SnapshotPath(dir, st.ID), snap); err != nil {
+		return err
+	}
+	return RemoveLog(fsys, LogPath(dir, st.ID))
 }
 
 // DatasetID implements Dataset.

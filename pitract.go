@@ -580,8 +580,22 @@ var (
 	MaintainableSchemes = schemes.MaintainableSchemes
 	// KeysDelta encodes an insertion batch for IncrementalPointSelection.
 	KeysDelta = schemes.KeysDelta
+	// KeysDeleteDelta encodes a tombstone batch for the sorted-key
+	// schemes: the listed keys are removed, and deleting an absent key
+	// is an idempotent no-op.
+	KeysDeleteDelta = schemes.KeysDeleteDelta
+	// KeysUpsertDelta encodes an insert-if-absent batch for the
+	// sorted-key schemes — safe to apply twice.
+	KeysUpsertDelta = schemes.KeysUpsertDelta
 	// EdgeDelta encodes an edge insertion for IncrementalReachability.
 	EdgeDelta = schemes.EdgeDelta
+	// EdgeDeleteDelta encodes an edge retraction for
+	// IncrementalReachability; retracting an edge that was never
+	// asserted is an error, and the closure is maintained decrementally.
+	EdgeDeleteDelta = schemes.EdgeDeleteDelta
+	// EdgeUpsertDelta encodes an insert-if-absent edge for
+	// IncrementalReachability.
+	EdgeUpsertDelta = schemes.EdgeUpsertDelta
 )
 
 // --- top-k with early termination (§8(5), internal/topk) ------------------------
