@@ -139,6 +139,27 @@ func BenchmarkX9(b *testing.B) {
 
 func BenchmarkX9_FullDynamism(b *testing.B) { benchExperiment(b, "X9") }
 
+// BenchmarkX10 regenerates the succinct-Π experiment and reports its
+// headline numbers — the dense/labels snapshot-bytes ratio and the
+// labeled-probe latency next to the dense probe it replaces — as benchmark
+// metrics, so BENCH_ci.json tracks what the compressed artifact costs (and
+// saves) from this PR on.
+func BenchmarkX10(b *testing.B) {
+	var snapRatio, labelNs, denseNs float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		snapRatio, labelNs, denseNs, err = harness.X10SuccinctMetrics(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(snapRatio, "snapshot-ratio-x")
+	b.ReportMetric(labelNs, "label-probe-ns")
+	b.ReportMetric(denseNs, "dense-probe-ns")
+}
+
+func BenchmarkX10_Succinct(b *testing.B) { benchExperiment(b, "X10") }
+
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same
 // query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the

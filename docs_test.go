@@ -265,14 +265,17 @@ func TestAPIDocMatchesServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats struct {
-		Datasets        int   `json:"datasets"`
-		PreprocessCalls int64 `json:"preprocess_calls"`
-		SnapshotLoads   int64 `json:"snapshot_loads"`
-		Queries         int64 `json:"queries"`
-		DeltasApplied   int64 `json:"deltas_applied"`
-		DeltasDeleted   int64 `json:"deltas_deleted"`
-		LogReplays      int64 `json:"log_replays"`
-		MaintenanceNs   int64 `json:"maintenance_ns"`
+		Datasets        int     `json:"datasets"`
+		PreprocessCalls int64   `json:"preprocess_calls"`
+		SnapshotLoads   int64   `json:"snapshot_loads"`
+		Queries         int64   `json:"queries"`
+		DeltasApplied   int64   `json:"deltas_applied"`
+		DeltasDeleted   int64   `json:"deltas_deleted"`
+		LogReplays      int64   `json:"log_replays"`
+		MaintenanceNs   int64   `json:"maintenance_ns"`
+		ArtifactBytes   int64   `json:"artifact_bytes"`
+		SnapshotBytes   int64   `json:"snapshot_bytes"`
+		SnapshotRatio   float64 `json:"snapshot_compression_ratio"`
 		PerScheme       map[string]struct {
 			Queries   int64 `json:"queries"`
 			Errors    int64 `json:"errors"`
@@ -311,6 +314,17 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	// tombstone (patch-delete); this in-memory registry replayed no log.
 	if stats.DeltasDeleted != 1 || stats.LogReplays != 0 {
 		t.Fatalf("dynamism counters diverge from the documented example: %+v", stats)
+	}
+	// The artifact-size fields: both registered datasets are resident, so
+	// the summed Π bytes and their would-be snapshot bytes are positive, and
+	// the ratio is exactly their quotient (sorted-key artifacts ride the
+	// delta-varint snapshot section, so the ratio sits below the raw
+	// framing overhead would suggest).
+	if stats.ArtifactBytes <= 0 || stats.SnapshotBytes <= 0 {
+		t.Fatalf("artifact sizes diverge from the documented shape: %+v", stats)
+	}
+	if want := float64(stats.SnapshotBytes) / float64(stats.ArtifactBytes); stats.SnapshotRatio != want {
+		t.Fatalf("snapshot_compression_ratio = %v, want %v", stats.SnapshotRatio, want)
 	}
 	ss, ok := stats.PerScheme["list-membership/sorted"]
 	if !ok || ss.Queries != 7 || ss.Errors != 0 {

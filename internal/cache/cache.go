@@ -76,11 +76,24 @@ type flight struct {
 	err     error
 }
 
+// minShardBudget is the smallest per-shard budget a nonzero total budget
+// resolves to: room for one entry with a modest key. Without this floor a
+// tiny budget would truncate (or round) to a per-shard budget below any
+// real entry's cost, and the cache would silently refuse everything —
+// `pitract serve -cache-bytes 8` serving permanently uncached.
+const minShardBudget = entryOverhead + 64
+
 // New returns a cache bounded by budgetBytes of (approximate) resident
-// memory. Budgets smaller than one entry per shard still work — oversized
-// entries are simply not cached.
+// memory. A positive budget always caches: the per-shard budget is the
+// ceiling of budgetBytes/shardCount, floored at one typical entry per
+// shard, so small budgets degrade to a small cache rather than a disabled
+// one. Only entries larger than a whole shard's budget are refused.
 func New(budgetBytes int64) *Cache {
-	c := &Cache{budgetPerShard: budgetBytes / shardCount}
+	perShard := (budgetBytes + shardCount - 1) / shardCount
+	if budgetBytes > 0 && perShard < minShardBudget {
+		perShard = minShardBudget
+	}
+	c := &Cache{budgetPerShard: perShard}
 	for i := range c.shards {
 		c.shards[i].ll = list.New()
 		c.shards[i].table = map[string]*list.Element{}

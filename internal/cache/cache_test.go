@@ -86,10 +86,36 @@ func TestByteBudgetEvictsLRU(t *testing.T) {
 }
 
 func TestOversizedEntryNotCached(t *testing.T) {
-	c := New(shardCount) // per-shard budget of 1 byte
-	c.Put("d", 0, []byte("q"), true)
+	c := New(shardCount) // tiny budget: per-shard floor of minShardBudget
+	// An entry whose key alone exceeds the per-shard floor must be refused.
+	huge := make([]byte, minShardBudget)
+	c.Put("d", 0, huge, true)
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("oversized entry was cached: %+v", st)
+	}
+}
+
+// TestTinyBudgetStillCaches pins the -cache-bytes truncation fix: budgets
+// below shardCount bytes used to integer-divide to a per-shard budget of 0,
+// silently refusing every entry — `pitract serve -cache-bytes 8` served
+// permanently uncached. A positive budget must cache ordinary entries.
+func TestTinyBudgetStillCaches(t *testing.T) {
+	for _, budget := range []int64{1, 8, shardCount - 1, shardCount, shardCount + 1} {
+		c := New(budget)
+		c.Put("d", 0, []byte("q"), true)
+		v, ok := c.Lookup("d", 0, []byte("q"))
+		if !ok || !v {
+			t.Fatalf("New(%d): Lookup after Put = (%v, %v), want (true, true)", budget, v, ok)
+		}
+		if st := c.Stats(); st.Entries != 1 {
+			t.Fatalf("New(%d): stats = %+v, want 1 entry", budget, st)
+		}
+	}
+	// A zero budget still means "no cache budget": nothing is cached.
+	c := New(0)
+	c.Put("d", 0, []byte("q"), true)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("New(0) cached an entry: %+v", st)
 	}
 }
 

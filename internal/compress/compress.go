@@ -170,17 +170,18 @@ func (c *Compressed) sccMate(u, v int) bool {
 	return c.scc[u] == c.scc[v]
 }
 
+// SCCIDs returns the stage-1 SCC id of every original vertex. Two vertices
+// sharing a representative in Map are mutually reachable iff they share an
+// SCC id — the disambiguation the succinct labeling scheme
+// (internal/schemes) persists alongside Map so its verdict translation
+// matches Reach exactly. The slice aliases internal state; callers must
+// not mutate it.
+func (c *Compressed) SCCIDs() []int { return c.scc }
+
 // Ratio reports the compression ratios (vertices and edges, compressed
 // over original).
 func (c *Compressed) Ratio(orig *graph.Graph) (vertexRatio, edgeRatio float64) {
 	vr := float64(c.Dc.N()) / float64(max(1, orig.N()))
 	er := float64(c.Dc.M()) / float64(max(1, orig.M()))
 	return vr, er
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

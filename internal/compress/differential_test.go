@@ -1,0 +1,124 @@
+package compress
+
+// Compress-vs-closure differential: the compressed structure's Reach must
+// agree with the dense transitive closure of the original graph on every
+// pair — including u == v, where Compress answers true unconditionally and
+// graph.NewClosure is reflexive by construction, so the two conventions
+// must coincide even for vertices with no self-loop. Any divergence is a
+// bug in the translation (Map/SCC bookkeeping), never in the oracle.
+
+import (
+	"strings"
+	"testing"
+
+	"pitract/internal/graph"
+)
+
+// TestCompressVsClosureDifferential sweeps random digraphs of assorted
+// density — plus shapes that stress each compression stage — and checks
+// every pair.
+func TestCompressVsClosureDifferential(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"sparse":    graph.RandomDirected(30, 40, 1),
+		"medium":    graph.RandomDirected(40, 160, 2),
+		"dense":     graph.RandomDirected(25, 400, 3),
+		"dag":       graph.RandomDAG(35, 90, 4),
+		"path":      graph.Path(20, true),
+		"community": graph.CommunityGraph(4, 10, 8, 5),
+		"singleton": graph.New(1, true),
+		"empty":     graph.New(0, true),
+		"edgeless":  graph.New(12, true),
+	}
+	for seed := int64(10); seed < 16; seed++ {
+		cases[string(rune('a'+seed-10))+"-random"] = graph.RandomDirected(20+int(seed), 3*int(seed)*int(seed), seed)
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			c, err := Compress(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := graph.NewClosure(g)
+			for u := 0; u < g.N(); u++ {
+				for v := 0; v < g.N(); v++ {
+					got, err := c.Reach(u, v)
+					if err != nil {
+						t.Fatalf("Reach(%d,%d): %v", u, v, err)
+					}
+					if want := cl.Reach(u, v); got != want {
+						t.Fatalf("Reach(%d,%d) = %v, closure says %v (Map[u]=%d, Map[v]=%d)",
+							u, v, got, want, c.Map[u], c.Map[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompressSelfQueryNoSelfLoop pins the self-reachability convention on
+// the sharpest case: an edgeless vertex, mutually reachable with itself by
+// the closure's reflexivity despite having no self-loop (graphs here never
+// store self-loops at all — AddEdge refuses them).
+func TestCompressSelfQueryNoSelfLoop(t *testing.T) {
+	g := graph.New(3, true)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := graph.NewClosure(g)
+	for v := 0; v < 3; v++ {
+		got, err := c.Reach(v, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got || !cl.Reach(v, v) {
+			t.Fatalf("self query (%d,%d): compress %v, closure %v — conventions diverge", v, v, got, cl.Reach(v, v))
+		}
+	}
+}
+
+// TestCompressReachOutOfRange pins the error contract on bad pairs.
+func TestCompressReachOutOfRange(t *testing.T) {
+	c, err := Compress(graph.RandomDirected(5, 8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{-1, 0}, {0, 5}, {5, 5}, {0, -2}} {
+		if _, err := c.Reach(pair[0], pair[1]); err == nil {
+			t.Fatalf("Reach(%d,%d) accepted an out-of-range pair", pair[0], pair[1])
+		} else if !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("Reach(%d,%d) error = %v", pair[0], pair[1], err)
+		}
+	}
+}
+
+// TestSCCIDsMatchMap pins the accessor the labels scheme persists: two
+// vertices share a representative AND an SCC id exactly when mutually
+// reachable.
+func TestSCCIDsMatchMap(t *testing.T) {
+	g := graph.RandomDirected(30, 120, 21)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc := c.SCCIDs()
+	if len(scc) != g.N() {
+		t.Fatalf("SCCIDs has %d entries, want %d", len(scc), g.N())
+	}
+	cl := graph.NewClosure(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			mutual := cl.Reach(u, v) && cl.Reach(v, u)
+			if (scc[u] == scc[v]) != mutual {
+				t.Fatalf("scc[%d]=%d, scc[%d]=%d but mutual=%v", u, scc[u], v, scc[v], mutual)
+			}
+			// Map must factor through SCC ids (same SCC ⇒ same rep).
+			if scc[u] == scc[v] && c.Map[u] != c.Map[v] {
+				t.Fatalf("same SCC, different representatives (%d vs %d)", c.Map[u], c.Map[v])
+			}
+		}
+	}
+}

@@ -62,6 +62,8 @@ func IncrementalForScheme(name string) *core.IncrementalScheme {
 		return IncrementalListMembership()
 	case "reachability/closure-matrix":
 		return IncrementalReachability()
+	case "reachability/labels":
+		return IncrementalReachabilityLabels()
 	case "reachability/bfs-per-query":
 		return IncrementalReachabilityBFS()
 	default:
@@ -78,6 +80,7 @@ func MaintainableSchemes() []string {
 		"range-selection/sorted-keys",
 		"reachability/bfs-per-query",
 		"reachability/closure-matrix",
+		"reachability/labels",
 	}
 }
 

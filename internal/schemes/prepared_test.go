@@ -62,6 +62,8 @@ func preparedCases(t *testing.T) map[string]preparedCase {
 		"list":         {ListMembershipScheme(), list, selQueries},
 		"closure-dir":  {ReachabilityScheme(), dg.Encode(), pairQueries(48)},
 		"closure-und":  {ReachabilityScheme(), ug.Encode(), pairQueries(40)},
+		"labels-dir":   {ReachabilityLabelsScheme(), dg.Encode(), pairQueries(48)},
+		"labels-und":   {ReachabilityLabelsScheme(), ug.Encode(), pairQueries(40)},
 		"bfs":          {ReachabilityBFSScheme(), dg.Encode(), pairQueries(48)},
 		"bds":          {BDSScheme(), ug.Encode(), pairQueries(40)},
 		"cvp":          {CVPGateValueScheme(), cvp, gateQueries},

@@ -83,6 +83,7 @@ func Catalog() map[string]*core.Scheme {
 		schemes.RangeSelectionScheme(),
 		schemes.ListMembershipScheme(),
 		schemes.ReachabilityScheme(),
+		schemes.ReachabilityLabelsScheme(),
 		schemes.ReachabilityBFSScheme(),
 		schemes.BDSScheme(),
 		schemes.CVPGateValueScheme(),
@@ -236,8 +237,24 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 	obs.Default.GaugeFunc("pitract_requests_in_flight",
 		"Work requests currently admitted by the serving envelope.",
 		func() int64 { return s.env.inFlight.Load() })
+	// The artifact gauge sums the in-memory Π bytes over completed datasets
+	// at scrape time — PrepBytes is a length read per dataset, so scrapes
+	// stay cheap even with many registrations.
+	obs.Default.GaugeFunc("pitract_artifact_bytes",
+		"Total in-memory preprocessed artifact (Π) bytes across completed datasets.",
+		func() int64 { return reg.ArtifactBytes() })
 	return s
 }
+
+// Probe-stage histograms: reachability answer latency split by answerer
+// family, so dashboards can compare the succinct label-intersection probes
+// against the dense matrix probes side by side. Observed in record() — on
+// the serving path, outside the prepared answerers, so the hot probe loop
+// itself stays uninstrumented.
+var (
+	obsProbeDense = obs.Stage(obs.StageProbeDense)
+	obsProbeLabel = obs.Stage(obs.StageProbeLabel)
+)
 
 // SetLogger installs a structured logger: one Debug line per request plus
 // Warn lines for requests past the slow-query threshold. nil (the default)
@@ -588,6 +605,16 @@ type StatsResponse struct {
 	// histograms (the JSON face of the /metrics stage family); absent until
 	// a stage has recorded an observation (e.g. while metrics are disabled).
 	Stages map[string]stageStats `json:"stages,omitempty"`
+	// ArtifactBytes sums the in-memory preprocessed artifact bytes (Π) over
+	// completed datasets; SnapshotBytes sums their encoded snapshot sizes —
+	// the on-disk footprint a full checkpoint would write, reported whether
+	// or not the registry persists. SnapshotCompressionRatio is
+	// SnapshotBytes/ArtifactBytes (0 with no artifacts): below 1.0 the v3
+	// snapshot codecs and succinct schemes are shrinking the durable form
+	// below the served one.
+	ArtifactBytes            int64   `json:"artifact_bytes"`
+	SnapshotBytes            int64   `json:"snapshot_bytes"`
+	SnapshotCompressionRatio float64 `json:"snapshot_compression_ratio"`
 }
 
 type errorResponse struct {
@@ -975,6 +1002,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.DeltasApplied = s.reg.DeltaCount()
 	resp.DeltasDeleted = s.reg.DeleteCount()
 	resp.LogReplays = s.reg.ReplayCount()
+	resp.ArtifactBytes, resp.SnapshotBytes = s.reg.ArtifactStats()
+	if resp.ArtifactBytes > 0 {
+		resp.SnapshotCompressionRatio = float64(resp.SnapshotBytes) / float64(resp.ArtifactBytes)
+	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		resp.Cache = &CacheStats{
@@ -1004,6 +1035,12 @@ func (s *Server) record(scheme string, served, failed int, elapsed time.Duration
 	c.queries.Add(int64(served))
 	c.latencyNs.Add(elapsed.Nanoseconds())
 	c.hist.Observe(elapsed)
+	switch scheme {
+	case "reachability/closure-matrix":
+		obsProbeDense.Observe(elapsed)
+	case "reachability/labels":
+		obsProbeLabel.Observe(elapsed)
+	}
 	if failed > 0 {
 		c.failed.Add(int64(failed))
 	}

@@ -113,6 +113,8 @@ func shardDeltaCases(seed int64) []shardDeltaCase {
 			schemes.EncodeList(keys), keyDeltas, keyProbes},
 		{"reachability/closure-matrix", schemes.IncrementalReachability(),
 			g.Encode(), edgeDeltas, pairProbes},
+		{"reachability/labels", schemes.IncrementalReachabilityLabels(),
+			g.Encode(), edgeDeltas, pairProbes},
 	}
 }
 

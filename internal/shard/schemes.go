@@ -28,6 +28,12 @@ func ForScheme(name string) *Sharding {
 		return listMembershipSharding()
 	case "reachability/closure-matrix":
 		return reachabilitySharding(true)
+	case "reachability/labels":
+		// The sharded form is scheme-agnostic (it only needs local reach
+		// probes), so the labels scheme shards and routes deltas exactly
+		// like the dense closure — each shard just answers by label
+		// intersection instead of a matrix probe.
+		return reachabilitySharding(true)
 	case "reachability/bfs-per-query":
 		// No delta routing: see reachabilitySharding on why maintenance
 		// would cost more than re-registering for the BFS baseline.
@@ -45,6 +51,7 @@ func DeltaCapableSchemes() []string {
 		"point-selection/sorted-keys",
 		"range-selection/sorted-keys",
 		"reachability/closure-matrix",
+		"reachability/labels",
 	}
 }
 
@@ -58,6 +65,7 @@ func ShardableSchemes() []string {
 		"range-selection/sorted-keys",
 		"reachability/bfs-per-query",
 		"reachability/closure-matrix",
+		"reachability/labels",
 	}
 }
 

@@ -228,6 +228,19 @@ func (ss *ShardedStore) PrepBytes() int {
 // ShardCount implements store.Dataset.
 func (ss *ShardedStore) ShardCount() int { return len(ss.Stores) }
 
+// SnapshotBytes implements store.SnapshotSizer: the summed encoded sizes
+// of the per-shard snapshots plus the cross-shard summary the manifest
+// carries — what a generation checkpoint would write.
+func (ss *ShardedStore) SnapshotBytes() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	total := len(ss.Summary)
+	for _, st := range ss.Stores {
+		total += st.SnapshotBytes()
+	}
+	return total
+}
+
 // WasLoaded implements store.Dataset.
 func (ss *ShardedStore) WasLoaded() bool { return ss.Loaded }
 

@@ -94,6 +94,7 @@ func assembleWorkloads(t *testing.T) []diffWorkload {
 		{"list-membership", schemes.ListMembershipScheme(), schemes.EncodeList(list), listQs, nil},
 		{"reachability", schemes.ReachabilityScheme(), g.Encode(), reachQs, reachCross},
 		{"reachability-bfs", schemes.ReachabilityBFSScheme(), g.Encode(), reachQs, reachCross},
+		{"reachability-labels", schemes.ReachabilityLabelsScheme(), g.Encode(), reachQs, reachCross},
 	}
 }
 

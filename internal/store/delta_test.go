@@ -145,6 +145,11 @@ func deltaCases(seed int64) []deltaCase {
 			data: g.Encode(), deltas: edgeDeltas, probes: pairProbes,
 			byteExact: true, // Π = the (Normalize-canonical) graph encoding
 		},
+		{
+			scheme: "reachability/labels", inc: schemes.IncrementalReachabilityLabels(),
+			data: g.Encode(), deltas: edgeDeltas, probes: pairProbes,
+			byteExact: true, // relabel-on-commit rebuilds the canonical labeling
+		},
 		undirectedReachCase(seed),
 	}
 }

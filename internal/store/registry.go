@@ -704,6 +704,65 @@ func (r *Registry) Len() int {
 	return n
 }
 
+// SnapshotSizer is an optional Dataset capability: datasets that can report
+// the encoded size of their current snapshot artifact(s) implement it so
+// /v1/stats can expose the on-disk footprint (and the snapshot compression
+// ratio) next to the in-memory artifact bytes. Store and internal/shard's
+// ShardedStore both do; the registry's ArtifactStats type-asserts rather
+// than requiring it, so foreign Dataset implementations stay valid.
+type SnapshotSizer interface {
+	// SnapshotBytes reports the total encoded size of the dataset's
+	// snapshot artifact(s) at its current version.
+	SnapshotBytes() int
+}
+
+// ArtifactStats sums, over completed datasets, the in-memory preprocessed
+// artifact bytes (PrepBytes) and the encoded snapshot bytes (for datasets
+// implementing SnapshotSizer). Registrations still in flight are skipped,
+// as in Len, so stats never block behind a Preprocess.
+func (r *Registry) ArtifactStats() (prepBytes, snapshotBytes int64) {
+	for _, ds := range r.completed() {
+		prepBytes += int64(ds.PrepBytes())
+		if sz, ok := ds.(SnapshotSizer); ok {
+			snapshotBytes += int64(sz.SnapshotBytes())
+		}
+	}
+	return prepBytes, snapshotBytes
+}
+
+// ArtifactBytes is the in-memory half of ArtifactStats — PrepBytes summed
+// over completed datasets, with no snapshot encoding — cheap enough for a
+// gauge callback scraped on every /metrics hit.
+func (r *Registry) ArtifactBytes() int64 {
+	var total int64
+	for _, ds := range r.completed() {
+		total += int64(ds.PrepBytes())
+	}
+	return total
+}
+
+// completed returns the datasets of every completed, successful
+// registration, skipping (not waiting for) builds still in flight.
+func (r *Registry) completed() []Dataset {
+	r.mu.Lock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make([]Dataset, 0, len(entries))
+	for _, e := range entries {
+		select {
+		case <-e.done:
+			if e.err == nil && e.ds != nil {
+				out = append(out, e.ds)
+			}
+		default: // still preprocessing
+		}
+	}
+	return out
+}
+
 // PreprocessCount reports how many Preprocess calls this registry has run —
 // the preprocess-once contract's observable: it stays at one per distinct
 // (unsharded) dataset no matter how many registrations or

@@ -1,0 +1,174 @@
+package store
+
+// Tests for the v3 compressed prep section: the delta-varint codec must
+// fire exactly on sorted-key artifacts, shrink them, and round-trip
+// byte-identically; unsorted or odd-length artifacts ship raw; legacy v2
+// and v1 files still decode; hostile sections fail closed.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"pitract/internal/core"
+	"pitract/internal/schemes"
+)
+
+// sortedPrep builds the canonical sorted-key artifact shape: non-decreasing
+// 8-byte big-endian records — what point/range selection and list
+// membership persist.
+func sortedPrep(keys []int64) []byte {
+	pd, err := schemes.PointSelectionScheme().Preprocess(schemes.RelationFromKeys(keys))
+	if err != nil {
+		panic(err)
+	}
+	return pd
+}
+
+func TestPrepSectionDeltaVarintFires(t *testing.T) {
+	prep := sortedPrep([]int64{5, 1, 9, 3, 3, 200, -40, 1 << 30})
+	sec := encodePrepSection(prep)
+	if sec[0] != prepCodecDeltaVarint {
+		t.Fatalf("sorted-key artifact shipped with codec %d, want delta-varint", sec[0])
+	}
+	if len(sec) >= len(prep)+1 {
+		t.Fatalf("delta-varint section (%d bytes) did not shrink the %d-byte artifact", len(sec), len(prep))
+	}
+	got, err := decodePrepSection(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, prep) {
+		t.Fatal("delta-varint round trip changed the artifact")
+	}
+}
+
+func TestPrepSectionRawFallback(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"odd-length": {1, 2, 3},
+		"descending": append(binary.BigEndian.AppendUint64(nil, 9), binary.BigEndian.AppendUint64(nil, 3)...),
+		// Eight 0xff bytes: one record, but its varint encoding (10 bytes +
+		// count) is larger than raw, so raw must win.
+		"incompressible": bytes.Repeat([]byte{0xff}, 8),
+	}
+	for name, prep := range cases {
+		t.Run(name, func(t *testing.T) {
+			sec := encodePrepSection(prep)
+			if sec[0] != prepCodecRaw {
+				t.Fatalf("codec %d, want raw", sec[0])
+			}
+			got, err := decodePrepSection(sec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, prep) {
+				t.Fatal("raw round trip changed the artifact")
+			}
+		})
+	}
+}
+
+// TestSnapshotV3ShrinksSortedKeys pins the headline effect at the snapshot
+// level: a sorted-key store's snapshot is strictly smaller than the same
+// snapshot under the v2 (raw prep) layout.
+func TestSnapshotV3ShrinksSortedKeys(t *testing.T) {
+	keys := make([]int64, 512)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+	}
+	s := &Snapshot{SchemeName: "point-selection/sorted-keys", Prep: sortedPrep(keys)}
+	enc := EncodeSnapshot(s)
+	rawSize := len(enc) - len(encodePrepSection(s.Prep)) + 1 + len(s.Prep)
+	if len(enc) >= rawSize {
+		t.Fatalf("v3 snapshot is %d bytes, raw layout would be %d", len(enc), rawSize)
+	}
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Prep, s.Prep) {
+		t.Fatal("compressed snapshot round trip changed Π")
+	}
+}
+
+// encodeLegacySnapshot renders the v1/v2 layouts (raw prep, no codec byte)
+// so the compat path is pinned against real bytes, not the current encoder.
+func encodeLegacySnapshot(s *Snapshot, magic []byte, withVersion bool) []byte {
+	header := core.PadPair([]byte(s.SchemeName), []byte(s.Notes))
+	meta := append([]byte(nil), s.DataSum[:]...)
+	if withVersion {
+		meta = binary.AppendUvarint(meta, s.Version)
+	}
+	payload := core.PadPair(header, core.PadPair(meta, s.Prep))
+	out := append([]byte(nil), magic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+func TestSnapshotLegacyVersionsStillDecode(t *testing.T) {
+	s := testSnapshot()
+	s.Version = 7
+
+	t.Run("v2", func(t *testing.T) {
+		got, err := DecodeSnapshot(encodeLegacySnapshot(s, snapshotMagicV2, true))
+		if err != nil {
+			t.Fatalf("v2 decode: %v", err)
+		}
+		if got.SchemeName != s.SchemeName || got.Version != 7 || !bytes.Equal(got.Prep, s.Prep) {
+			t.Fatalf("v2 decode changed fields: %+v", got)
+		}
+	})
+	t.Run("v1", func(t *testing.T) {
+		got, err := DecodeSnapshot(encodeLegacySnapshot(s, snapshotMagicV1, false))
+		if err != nil {
+			t.Fatalf("v1 decode: %v", err)
+		}
+		if got.SchemeName != s.SchemeName || got.Version != 0 || !bytes.Equal(got.Prep, s.Prep) {
+			t.Fatalf("v1 decode changed fields: %+v", got)
+		}
+	})
+	// Re-encoding a legacy snapshot writes the current (v3) format.
+	got, err := DecodeSnapshot(encodeLegacySnapshot(s, snapshotMagicV2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := EncodeSnapshot(got)
+	if !bytes.HasPrefix(re, snapshotMagic) {
+		t.Fatal("re-encoded legacy snapshot is not v3")
+	}
+	if got2, err := DecodeSnapshot(re); err != nil || !bytes.Equal(got2.Prep, s.Prep) {
+		t.Fatalf("v2→v3 rewrite round trip: %v", err)
+	}
+}
+
+// TestDecodePrepSectionHostile pins fail-closed decoding: every malformed
+// section errors without panicking and without allocating from attacker-
+// controlled counts.
+func TestDecodePrepSectionHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown-codec":  {9, 1, 2, 3},
+		"no-count":       {prepCodecDeltaVarint},
+		"zero-count":     append([]byte{prepCodecDeltaVarint}, binary.AppendUvarint(nil, 0)...),
+		"count-lie":      append([]byte{prepCodecDeltaVarint}, binary.AppendUvarint(nil, 1<<40)...),
+		"truncated-body": append(append([]byte{prepCodecDeltaVarint}, binary.AppendUvarint(nil, 3)...), 1, 2),
+		"overflow": append(append(append([]byte{prepCodecDeltaVarint},
+			binary.AppendUvarint(nil, 2)...),
+			binary.AppendUvarint(nil, 1<<63)...),
+			binary.AppendUvarint(nil, 1<<63)...),
+		"trailing-bytes": append(append(append([]byte{prepCodecDeltaVarint},
+			binary.AppendUvarint(nil, 1)...),
+			binary.AppendUvarint(nil, 5)...),
+			0xee),
+		"bad-varint": append([]byte{prepCodecDeltaVarint}, bytes.Repeat([]byte{0x80}, 11)...),
+	}
+	for name, sec := range cases {
+		t.Run(name, func(t *testing.T) {
+			if got, err := decodePrepSection(sec); err == nil {
+				t.Fatalf("hostile section decoded to %d bytes", len(got))
+			}
+		})
+	}
+}

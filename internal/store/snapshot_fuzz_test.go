@@ -2,8 +2,25 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
+
+	"pitract/internal/core"
 )
+
+// snapshotWithPrepSection frames an arbitrary (possibly hostile) prep
+// section in an otherwise valid v3 snapshot — CRC intact, so the decoder
+// reaches decodePrepSection instead of bouncing at the checksum.
+func snapshotWithPrepSection(sec []byte) []byte {
+	var sum DataChecksum
+	header := core.PadPair([]byte("s"), []byte("n"))
+	meta := binary.AppendUvarint(append([]byte(nil), sum[:]...), 0)
+	payload := core.PadPair(header, core.PadPair(meta, sec))
+	out := append([]byte(nil), snapshotMagic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
 
 // FuzzDecodeSnapshot feeds the snapshot decoder arbitrary bytes: it must
 // either return an error or a snapshot whose re-encoding decodes to the
@@ -26,6 +43,19 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	flipped[len(flipped)-1] ^= 0x01
 	f.Add(flipped)
 	f.Add(append(append([]byte(nil), valid...), 0xFF))
+
+	// v3 compressed-section seeds: a snapshot whose Π is a sorted-key
+	// artifact (triggers the delta-varint codec), the same snapshot under
+	// the legacy raw layout, and snapshots whose prep sections carry hostile
+	// codec bytes or record counts.
+	sorted := sortedPrep([]int64{1, 2, 3, 500, 1 << 40})
+	compressed := EncodeSnapshot(&Snapshot{SchemeName: "point-selection/sorted-keys", Prep: sorted})
+	f.Add(compressed)
+	f.Add(encodeLegacySnapshot(&Snapshot{SchemeName: "point-selection/sorted-keys", Version: 3, Prep: sorted}, snapshotMagicV2, true))
+	f.Add(encodeLegacySnapshot(&Snapshot{SchemeName: "legacy", Prep: []byte{1, 2, 3}}, snapshotMagicV1, false))
+	f.Add(snapshotWithPrepSection([]byte{99, 1, 2, 3}))                                          // unknown codec
+	f.Add(snapshotWithPrepSection(append([]byte{prepCodecDeltaVarint}, 0xff, 0xff, 0xff, 0x7f))) // count lie
+	f.Add(snapshotWithPrepSection([]byte{prepCodecDeltaVarint, 2, 5}))                           // truncated body
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		s, err := DecodeSnapshot(b)

@@ -496,6 +496,10 @@ var (
 	ReachabilityScheme = schemes.ReachabilityScheme
 	// ReachabilityBFSScheme: BFS-per-query baseline.
 	ReachabilityBFSScheme = schemes.ReachabilityBFSScheme
+	// ReachabilityLabelsScheme: succinct Π — a 2-hop labeling on the
+	// query-preserving compression of the graph, verdict-identical to
+	// ReachabilityScheme at a fraction of the artifact bytes.
+	ReachabilityLabelsScheme = schemes.ReachabilityLabelsScheme
 	// BDSScheme: Example 5 — visit-order preprocessing for breadth-depth
 	// search.
 	BDSScheme = schemes.BDSScheme
@@ -572,6 +576,9 @@ var (
 	// IncrementalReachabilityBFS maintains the BFS baseline (Π = D, so
 	// maintenance is appending the edge).
 	IncrementalReachabilityBFS = schemes.IncrementalReachabilityBFS
+	// IncrementalReachabilityLabels maintains the 2-hop labeling by
+	// relabeling from the graph appendix on every committed edge delta.
+	IncrementalReachabilityLabels = schemes.IncrementalReachabilityLabels
 	// IncrementalForScheme resolves a scheme's incremental form by name —
 	// the catalog StoreRegistry.ApplyDelta and the HTTP PATCH path route
 	// through; nil for schemes with nothing maintainable.
