@@ -160,6 +160,26 @@ func BenchmarkX10(b *testing.B) {
 
 func BenchmarkX10_Succinct(b *testing.B) { benchExperiment(b, "X10") }
 
+// BenchmarkX11 regenerates the serve-path chaos experiment and reports its
+// headline numbers — how long a tripped breaker took to serve again after
+// the fault cleared, and the degraded-answer rate while the fallback
+// carried the traffic — as benchmark metrics, so BENCH_ci.json tracks
+// recovery behavior from this PR on.
+func BenchmarkX11(b *testing.B) {
+	var recoveryMs, degradedRate float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		recoveryMs, degradedRate, err = harness.X11ChaosMetrics(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(recoveryMs, "breaker-recovery-ms")
+	b.ReportMetric(degradedRate, "degraded-rate")
+}
+
+func BenchmarkX11_Chaos(b *testing.B) { benchExperiment(b, "X11") }
+
 // BenchmarkOpShardedReachAnswer measures one sharded reachability answer
 // (4 range-partitioned shards, fan-out + portal merge) against the same
 // query mix BenchmarkOpReachabilityAnswer-style benchmarks use, so the

@@ -148,7 +148,7 @@ func cmdServe(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range] [-cache-bytes N]")
 		fmt.Fprintln(fs.Output(), "                     [-max-inflight N] [-max-inflight-dataset N] [-max-body-bytes N] [-max-batch N]")
-		fmt.Fprintln(fs.Output(), "                     [-register-budget D] [-retry-after D] [-log-level L] [-log-format F]")
+		fmt.Fprintln(fs.Output(), "                     [-register-budget D] [-query-budget-ms N] [-retry-after D] [-log-level L] [-log-format F]")
 		fmt.Fprintln(fs.Output(), "                     [-slow-query-ms N] [-pprof-addr ADDR] [-checkpoint-every N]")
 	}
 	addr := fs.String("addr", ":8080", "listen address")
@@ -161,6 +161,7 @@ func cmdServe(args []string) int {
 	maxBodyBytes := fs.Int64("max-body-bytes", 0, "request-body byte cap; larger bodies get 413 (0 = the 64 MiB default)")
 	maxBatch := fs.Int("max-batch", 0, "queries per /v1/query/batch request; larger batches get 413 (0 = the 4096 default)")
 	registerBudget := fs.Duration("register-budget", 0, "wall budget per registration or PATCH, e.g. 30s; over-budget work is abandoned with 503 (0 = none)")
+	queryBudgetMs := fs.Int64("query-budget-ms", 0, "wall budget per query or batch in milliseconds; over-budget answers are abandoned with 504 (0 = none)")
 	retryAfter := fs.Duration("retry-after", 0, "delay advertised in 429 Retry-After headers (0 = the 1s default)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, or error (debug logs every request)")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
@@ -181,7 +182,8 @@ func cmdServe(args []string) int {
 	for name, v := range map[string]int64{
 		"-max-inflight": int64(*maxInFlight), "-max-inflight-dataset": int64(*maxInFlightDS),
 		"-max-body-bytes": *maxBodyBytes, "-max-batch": int64(*maxBatch),
-		"-register-budget": int64(*registerBudget), "-retry-after": int64(*retryAfter),
+		"-register-budget": int64(*registerBudget), "-query-budget-ms": *queryBudgetMs,
+		"-retry-after":   int64(*retryAfter),
 		"-slow-query-ms": *slowQueryMs, "-checkpoint-every": int64(*checkpointEvery),
 	} {
 		if v < 0 {
@@ -233,6 +235,7 @@ func cmdServe(args []string) int {
 		MaxBodyBytes:          *maxBodyBytes,
 		MaxBatchQueries:       *maxBatch,
 		RegisterBudget:        *registerBudget,
+		QueryBudget:           time.Duration(*queryBudgetMs) * time.Millisecond,
 		RetryAfter:            *retryAfter,
 	})
 	srv.SetLogger(slog.New(handler))
@@ -365,8 +368,8 @@ usage:
   pitract serve [-addr :8080] [-data DIR] [-shards N] [-partitioner hash|range]
                 [-cache-bytes N] [-max-inflight N] [-max-inflight-dataset N]
                 [-max-body-bytes N] [-max-batch N] [-register-budget D]
-                [-retry-after D] [-log-level L] [-log-format F]
-                [-slow-query-ms N] [-pprof-addr ADDR]
+                [-query-budget-ms N] [-retry-after D] [-log-level L]
+                [-log-format F] [-slow-query-ms N] [-pprof-addr ADDR]
                                             serve preprocessed stores over HTTP
 
 running in parallel:
@@ -394,6 +397,13 @@ serving:
   concurrency limits with 429 + Retry-After (tune the advertised delay with
   -retry-after), and -register-budget abandons registrations or PATCHes
   that outrun their wall budget with 503 and no catalog side effects.
+  -query-budget-ms gives each query or batch its own deadline: an
+  overrun is abandoned with 504 and the worker never blocks the pool.
+  Each dataset carries a health circuit breaker — repeated serve-path
+  failures trip it open (fast 503 + Retry-After until a backoff-paced
+  probe heals it), corrupt snapshots and delta logs are quarantined
+  aside and rebuilt from source, and datasets with a declared fallback
+  keep answering in degraded mode while unhealthy (see GET /healthz).
   Rejection counters and the in-flight gauge appear in /v1/stats. See
   docs/ARCHITECTURE.md and docs/API.md.
 

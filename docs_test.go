@@ -93,6 +93,14 @@ var apiExamples = []apiExample{
 		method:     http.MethodGet,
 		path:       "/healthz",
 		wantStatus: http.StatusOK,
+		wantBody:   `{"datasets":2,"health":{"m":"healthy","m2":"healthy"},"status":"ok"}`,
+	},
+	{
+		// The pre-breaker liveness shape, kept for probes that pin bytes.
+		name:       "healthz-compat",
+		method:     http.MethodGet,
+		path:       "/healthz?verbose=0",
+		wantStatus: http.StatusOK,
 		wantBody:   `{"datasets":2,"status":"ok"}`,
 	},
 	{

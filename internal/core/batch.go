@@ -27,6 +27,7 @@ package core
 // under the race detector.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,6 +54,24 @@ func (s *Scheme) AnswerBatch(pd []byte, queries [][]byte, parallelism int) ([]bo
 // error messages, keeping them identical to the raw batch path's.
 func AnswerBatchPrepared(label string, a Answerer, queries [][]byte, parallelism int) ([]bool, error) {
 	return answerPool(label, a.Answer, queries, parallelism)
+}
+
+// AnswerBatchPreparedContext is AnswerBatchPrepared with cooperative
+// cancellation: ctx is consulted before every probe, so an expired
+// deadline abandons the rest of the batch promptly instead of paying
+// every remaining query. The batch fails with the usual error shape at
+// the lowest unanswered index, wrapping ctx.Err(). A context that can
+// never be cancelled degenerates to the plain prepared batch.
+func AnswerBatchPreparedContext(ctx context.Context, label string, a Answerer, queries [][]byte, parallelism int) ([]bool, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return AnswerBatchPrepared(label, a, queries, parallelism)
+	}
+	return answerPool(label, func(q []byte) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		return a.Answer(q)
+	}, queries, parallelism)
 }
 
 // answerPool is the shared worker-pool core of AnswerBatch and

@@ -1,6 +1,6 @@
 // Package harness regenerates every figure, example and case study of the
 // paper as a measured table. Each experiment has an id (E1, E3, F1…F2,
-// C1…C12, T5, T9, L2, P10, A1…A3, X1…X10) matching DESIGN.md's
+// C1…C12, T5, T9, L2, P10, A1…A3, X1…X11) matching DESIGN.md's
 // per-experiment index, a
 // generator that runs the workload at several sizes, and — where the paper
 // makes a growth claim — a fitted growth label from core.Classify.
@@ -222,6 +222,7 @@ func All() []Experiment {
 		{"X8", "observability overhead: instrumented vs uninstrumented serve path", X8ObsOverhead},
 		{"X9", "full dynamism: delete-maintained Π(D ⊕ ∆D) vs rebuild, delta-log crash replay", X9FullDynamism},
 		{"X10", "succinct Π: 2-hop labels on the compressed DAG vs the dense closure matrix", X10Succinct},
+		{"X11", "serve-path chaos: query deadlines, breaker trip/heal, degraded fallbacks, quarantine-and-heal", X11Chaos},
 	}
 }
 

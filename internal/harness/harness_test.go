@@ -48,8 +48,8 @@ func TestFindExperiment(t *testing.T) {
 	if _, ok := Find("ZZ"); ok {
 		t.Fatal("phantom experiment found")
 	}
-	if len(All()) != 33 {
-		t.Fatalf("experiment count = %d, want 23 from DESIGN.md plus X1…X10", len(All()))
+	if len(All()) != 34 {
+		t.Fatalf("experiment count = %d, want 23 from DESIGN.md plus X1…X11", len(All()))
 	}
 }
 

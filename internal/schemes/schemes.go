@@ -138,9 +138,29 @@ func PointSelectionScanScheme() *core.Scheme {
 			return SelectionLanguage().Contains(pd, q)
 		},
 		PrepareAnswerer: preparePointScan,
+		// Degraded mode trades the per-query O(|D|) scan for one O(|D| log
+		// |D|) sort at fallback build, then O(log |D|) probes — the same
+		// verdicts (and the same malformed-query errors, both paths decode
+		// the point query first), delivered cheaper per probe when the
+		// serving budget is nearly spent.
+		PrepareFallback: prepareScanFallback,
 		PreprocessNote:  "O(1)",
 		AnswerNote:      "O(|D|) per query",
 	}
+}
+
+// prepareScanFallback builds the scan baseline's degraded-mode answerer:
+// the relation's key column sorted once, probed by binary search.
+func prepareScanFallback(pd []byte) (core.Answerer, error) {
+	rel, err := relation.Decode(pd)
+	if err != nil {
+		return nil, err
+	}
+	ks, err := rel.SortedInts("key")
+	if err != nil {
+		return nil, err
+	}
+	return &sortedKeysAnswerer{keys: ks}, nil
 }
 
 // RangeSelectionLanguage decides range selections by the reference scan.

@@ -16,6 +16,7 @@ package server
 
 import (
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -78,9 +79,17 @@ type Limits struct {
 	// it is abandoned with 503 and no catalog entry (registration) or
 	// nothing applied (PATCH). 0 = no budget.
 	RegisterBudget time.Duration
-	// RetryAfter is the delay advertised in the Retry-After header of
-	// every 429. 0 selects DefaultRetryAfter.
+	// RetryAfter is the base delay advertised in the Retry-After header
+	// of every 429 (and of breaker 503s). The advertised value is
+	// jittered ±20% per response so synchronized clients don't retry in
+	// lockstep. 0 selects DefaultRetryAfter.
 	RetryAfter time.Duration
+	// QueryBudget bounds the wall time of one query or batch: the
+	// request context's deadline is threaded through the store answer
+	// path (and the sharded fan-out), and work that outruns it is
+	// abandoned with 504 — the worker's result is dropped, never left
+	// holding the pool. 0 = no budget.
+	QueryBudget time.Duration
 }
 
 // withDefaults resolves the zero-value fields to their documented
@@ -101,6 +110,9 @@ func (l Limits) withDefaults() Limits {
 	if l.RetryAfter <= 0 {
 		l.RetryAfter = DefaultRetryAfter
 	}
+	if l.QueryBudget < 0 {
+		l.QueryBudget = 0
+	}
 	return l
 }
 
@@ -117,6 +129,7 @@ type EnvelopeStats struct {
 	MaxBodyBytes          int64 `json:"max_body_bytes"`
 	MaxBatchQueries       int   `json:"max_batch_queries"`
 	RegisterBudgetMs      int64 `json:"register_budget_ms"`
+	QueryBudgetMs         int64 `json:"query_budget_ms"`
 	// Rejected429 counts requests refused by the concurrency limits
 	// (global or per-dataset) with 429 + Retry-After.
 	Rejected429 int64 `json:"rejected_429"`
@@ -127,6 +140,12 @@ type EnvelopeStats struct {
 	// BudgetExceeded counts registrations and PATCHes abandoned with 503
 	// after outrunning RegisterBudget.
 	BudgetExceeded int64 `json:"budget_exceeded"`
+	// Deadline504 counts queries and batches abandoned with 504 after
+	// outrunning QueryBudget.
+	Deadline504 int64 `json:"deadline_504"`
+	// Breaker503 counts requests refused fast because the dataset's
+	// circuit breaker was open.
+	Breaker503 int64 `json:"breaker_503"`
 	// PerEndpoint breaks the rejection counters down by endpoint (the
 	// dataset subresource is collapsed to "/v1/datasets/{id}"). Absent until
 	// the first rejection, so the zero-traffic stats block stays compact.
@@ -140,6 +159,8 @@ type EndpointRejections struct {
 	RejectedBody413  int64 `json:"rejected_body_413,omitempty"`
 	RejectedBatch413 int64 `json:"rejected_batch_413,omitempty"`
 	BudgetExceeded   int64 `json:"budget_exceeded,omitempty"`
+	Deadline504      int64 `json:"deadline_504,omitempty"`
+	Breaker503       int64 `json:"breaker_503,omitempty"`
 }
 
 // endpointCounters is the live (atomic) form of EndpointRejections.
@@ -148,6 +169,8 @@ type endpointCounters struct {
 	rejectedBody413  atomic.Int64
 	rejectedBatch413 atomic.Int64
 	budgetExceeded   atomic.Int64
+	deadline504      atomic.Int64
+	breaker503       atomic.Int64
 }
 
 // endpointLabel collapses a request path to its endpoint identity, so the
@@ -180,6 +203,8 @@ type envelope struct {
 	rejectedBody413  atomic.Int64
 	rejectedBatch413 atomic.Int64
 	budgetExceeded   atomic.Int64
+	deadline504      atomic.Int64
+	breaker503       atomic.Int64
 
 	// byEndpoint maps an endpointLabel to its *endpointCounters. Entries are
 	// created only on a rejection, so the map stays empty (and invisible in
@@ -223,6 +248,20 @@ func (ev *envelope) noteBudget(r *http.Request) {
 	ev.endpoint(endpointLabel(r.URL.Path)).budgetExceeded.Add(1)
 }
 
+// noteDeadline504 counts one query-budget 504, globally and against r's
+// endpoint.
+func (ev *envelope) noteDeadline504(r *http.Request) {
+	ev.deadline504.Add(1)
+	ev.endpoint(endpointLabel(r.URL.Path)).deadline504.Add(1)
+}
+
+// noteBreaker503 counts one open-breaker refusal, globally and against
+// r's endpoint.
+func (ev *envelope) noteBreaker503(r *http.Request) {
+	ev.breaker503.Add(1)
+	ev.endpoint(endpointLabel(r.URL.Path)).breaker503.Add(1)
+}
+
 // admit tries to admit one work request against dataset (may be "" for
 // requests not addressed to a dataset yet). On success it returns a
 // release func the caller must defer, and ok=true. On refusal it returns
@@ -260,14 +299,24 @@ func (ev *envelope) admit(dataset string) (release func(), reason string, ok boo
 	}, "", true
 }
 
-// retryAfterSeconds renders the advertised Retry-After delay in whole
-// seconds (the header's delta-seconds form), at least 1.
-func (ev *envelope) retryAfterSeconds() int {
-	s := int(ev.limits.RetryAfter / time.Second)
+// jitterSeconds renders a Retry-After delay in whole seconds (the
+// header's delta-seconds form), jittered ±20% so clients rejected in
+// the same instant don't retry in the same instant, and at least 1.
+// The 1s default base always renders as 1 (0.8–1.2s rounds to 1), so
+// the documented examples stay byte-stable.
+func jitterSeconds(base time.Duration) int {
+	j := time.Duration(float64(base) * (0.8 + 0.4*rand.Float64()))
+	s := int((j + time.Second/2) / time.Second)
 	if s < 1 {
 		s = 1
 	}
 	return s
+}
+
+// retryAfterSeconds renders the envelope's advertised Retry-After delay,
+// jittered.
+func (ev *envelope) retryAfterSeconds() int {
+	return jitterSeconds(ev.limits.RetryAfter)
 }
 
 // reject429 writes the backpressure response: 429 Too Many Requests with
@@ -293,6 +342,8 @@ func (ev *envelope) stats() EnvelopeStats {
 			RejectedBody413:  c.rejectedBody413.Load(),
 			RejectedBatch413: c.rejectedBatch413.Load(),
 			BudgetExceeded:   c.budgetExceeded.Load(),
+			Deadline504:      c.deadline504.Load(),
+			Breaker503:       c.breaker503.Load(),
 		}
 		return true
 	})
@@ -303,10 +354,13 @@ func (ev *envelope) stats() EnvelopeStats {
 		MaxBodyBytes:          ev.limits.MaxBodyBytes,
 		MaxBatchQueries:       ev.limits.MaxBatchQueries,
 		RegisterBudgetMs:      ev.limits.RegisterBudget.Milliseconds(),
+		QueryBudgetMs:         ev.limits.QueryBudget.Milliseconds(),
 		Rejected429:           ev.rejected429.Load(),
 		RejectedBody413:       ev.rejectedBody413.Load(),
 		RejectedBatch413:      ev.rejectedBatch413.Load(),
 		BudgetExceeded:        ev.budgetExceeded.Load(),
+		Deadline504:           ev.deadline504.Load(),
+		Breaker503:            ev.breaker503.Load(),
 		PerEndpoint:           per,
 	}
 }

@@ -7,7 +7,9 @@
 //
 // Endpoints:
 //
-//	GET   /healthz              liveness + dataset count
+//	GET   /healthz              liveness + dataset count + per-dataset
+//	                            health states (?verbose=0 for the bare
+//	                            liveness shape)
 //	POST  /v1/datasets          register (and preprocess) a dataset; ?shards=n
 //	                            partitions it across n preprocessed stores
 //	GET   /v1/datasets          list registered datasets
@@ -42,8 +44,15 @@
 // or one burst can cost: oversized bodies and batches are refused with
 // 413, work beyond the configured concurrency limits with 429 +
 // Retry-After, and registrations or delta batches that outrun their wall
-// budget are abandoned with 503 and no catalog side effects. See
-// docs/API.md for the full request/response reference.
+// budget are abandoned with 503 and no catalog side effects. Queries
+// carry their own deadline (Limits.QueryBudget, `pitract serve
+// -query-budget-ms`): an overrun is abandoned with 504. Each dataset is
+// fronted by a health circuit breaker — repeated serve-path failures trip
+// it open and further traffic is refused fast with 503 + Retry-After
+// until a backoff-paced probe succeeds; datasets with a declared
+// degraded-mode fallback keep answering (marked "degraded") while
+// unhealthy. See docs/API.md for the full request/response reference and
+// docs/ARCHITECTURE.md for the fault-tolerance design.
 package server
 
 import (
@@ -173,6 +182,11 @@ type Server struct {
 	// preprocess and snapshot-load counters, so library-side ApplyDelta
 	// calls are counted too).
 	maintenanceNs atomic.Int64
+	// degradedAnswers counts verdicts served through a degraded-mode
+	// fallback (breaker half-open or query budget nearly spent); surfaced
+	// as degraded_answers in /v1/stats and as
+	// pitract_degraded_answers_total in /metrics.
+	degradedAnswers atomic.Int64
 
 	// cache, when non-nil, memoizes ⟨dataset, version, query⟩ verdicts in
 	// front of the answer paths (see SetAnswerCache).
@@ -254,6 +268,17 @@ func New(reg *store.Registry, catalog map[string]*core.Scheme) *Server {
 var (
 	obsProbeDense = obs.Stage(obs.StageProbeDense)
 	obsProbeLabel = obs.Stage(obs.StageProbeLabel)
+)
+
+// Graceful-degradation counters: verdicts served through a declared
+// fallback instead of the primary answer path, and queries abandoned at
+// the -query-budget-ms deadline. Both feed the breaker dashboards next to
+// pitract_breaker_trips_total.
+var (
+	obsDegradedAnswers = obs.Default.Counter("pitract_degraded_answers_total",
+		"Verdicts served through a dataset's degraded-mode fallback.")
+	obsDeadlineExpired = obs.Default.Counter("pitract_deadline_expired_total",
+		"Queries abandoned at the per-query deadline (HTTP 504).")
 )
 
 // SetLogger installs a structured logger: one Debug line per request plus
@@ -455,6 +480,13 @@ type QueryRequest struct {
 type QueryResponse struct {
 	Answer  bool   `json:"answer"`
 	Version uint64 `json:"version"`
+	// Degraded marks a verdict served through the dataset's declared
+	// degraded-mode fallback (breaker half-open, or the query budget nearly
+	// spent) instead of the primary answer path. Fallbacks are exact — the
+	// verdict is the same — but the latency profile is the fallback's, and
+	// operators may want to alert on a rising degraded rate. Absent (false)
+	// on the primary path, so existing clients see unchanged bodies.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchRequest answers many queries through the AnswerBatch worker pool.
@@ -471,6 +503,9 @@ type BatchRequest struct {
 type BatchResponse struct {
 	Answers []bool `json:"answers"`
 	Version uint64 `json:"version"`
+	// Degraded marks a batch in which at least one verdict was served
+	// through the degraded-mode fallback (see QueryResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // CacheStats reports the answer cache's counters: hits (served from
@@ -615,6 +650,12 @@ type StatsResponse struct {
 	ArtifactBytes            int64   `json:"artifact_bytes"`
 	SnapshotBytes            int64   `json:"snapshot_bytes"`
 	SnapshotCompressionRatio float64 `json:"snapshot_compression_ratio"`
+	// DegradedAnswers counts verdicts served through a degraded-mode
+	// fallback; Quarantines counts artifacts (snapshots or delta logs)
+	// renamed aside after failing integrity checks. Healthy steady state
+	// is both zero.
+	DegradedAnswers int64 `json:"degraded_answers"`
+	Quarantines     int64 `json:"quarantines"`
 }
 
 type errorResponse struct {
@@ -662,14 +703,44 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{
 	return true
 }
 
+// handleHealthz reports liveness plus per-dataset health. The default
+// (verbose) body carries a "health" map of dataset id → breaker state
+// (healthy/degraded/open/quarantined) and an overall status: "ok" when
+// every dataset is healthy, "degraded" when any is degraded or
+// quarantined (still 200 — the node is serving, possibly via fallbacks),
+// and "unhealthy" with a 503 when any breaker is open, so load balancers
+// drain a node whose datasets are refusing traffic. ?verbose=0 keeps the
+// original two-field shape, always 200 — the liveness probe contract.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":   "ok",
+	if r.URL.Query().Get("verbose") == "0" {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status":   "ok",
+			"datasets": s.reg.Len(),
+		})
+		return
+	}
+	states := s.reg.HealthStates()
+	health := make(map[string]string, len(states))
+	status, code := "ok", http.StatusOK
+	for id, st := range states {
+		health[id] = st.String()
+		switch st {
+		case store.HealthOpen:
+			status, code = "unhealthy", http.StatusServiceUnavailable
+		case store.HealthDegraded, store.HealthQuarantined:
+			if status == "ok" {
+				status = "degraded"
+			}
+		}
+	}
+	writeJSON(w, code, map[string]interface{}{
+		"status":   status,
 		"datasets": s.reg.Len(),
+		"health":   health,
 	})
 }
 
@@ -876,6 +947,60 @@ func (s *Server) workContext(r *http.Request) (context.Context, context.CancelFu
 	return context.WithCancel(r.Context())
 }
 
+// queryContext derives the context one answer request runs under: the
+// request context (a disconnected client abandons its own query) bounded
+// by QueryBudget when one is configured. Without a budget it returns a
+// non-cancellable context, so AnswerWithin degenerates to the plain
+// answer call and the hot path stays guard-free.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if b := s.env.limits.QueryBudget; b > 0 {
+		return context.WithTimeout(r.Context(), b)
+	}
+	return context.Background(), func() {}
+}
+
+// rejectBreaker writes the open-breaker refusal: 503 Service Unavailable
+// with a jittered Retry-After drawn from the breaker's current backoff
+// (falling back to the envelope's advertised delay), so synchronized
+// clients don't re-trip the breaker in one thundering retry wave.
+func (s *Server) rejectBreaker(w http.ResponseWriter, r *http.Request, dataset string, retryAfter time.Duration) {
+	s.env.noteBreaker503(r)
+	if retryAfter <= 0 {
+		retryAfter = s.env.limits.RetryAfter
+	}
+	secs := jitterSeconds(retryAfter)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, r, http.StatusServiceUnavailable,
+		"dataset %q health breaker open; retry after %ds", dataset, secs)
+}
+
+// answerFailure classifies an answer-path error for the wire and tells
+// the dataset's breaker what it proved. A deadline overrun is a 504 and a
+// breaker failure (a dataset too slow to answer inside its budget is
+// unhealthy); a Prepare failure is a 500 and a breaker failure (the
+// dataset cannot answer at all); everything else — malformed queries,
+// out-of-range ids — stays the client's 422 and counts as a breaker
+// success, because a request that got as far as query classification
+// proved the serve path end to end.
+func (s *Server) answerFailure(w http.ResponseWriter, r *http.Request, br *store.Breaker, probe bool, err error) {
+	var de *store.DeadlineError
+	if errors.As(err, &de) {
+		br.OnFailure(probe)
+		s.env.noteDeadline504(r)
+		obsDeadlineExpired.Inc()
+		writeError(w, r, http.StatusGatewayTimeout, "%v", err)
+		return
+	}
+	var pe *store.PrepareError
+	if errors.As(err, &pe) {
+		br.OnFailure(probe)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	br.OnSuccess(probe)
+	writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
+}
+
 // lookup resolves a dataset — plain or sharded — for the answer paths.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request, dataset string) (store.Dataset, bool) {
 	if dataset == "" {
@@ -909,23 +1034,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// The breaker is consulted only after a successful lookup, so hostile
+	// unknown ids can never grow the breaker map.
+	br := s.reg.Breaker(req.Dataset)
+	dec := br.Allow()
+	if !dec.Admit {
+		s.rejectBreaker(w, r, req.Dataset, dec.RetryAfter)
+		return
+	}
+	path := s.answerPath(ds)
+	if dec.Probe {
+		// Half-open probe: retry a previously failed Prepare first, so a
+		// healed filesystem (or a transient decode fault) closes the
+		// breaker. The retry's outcome surfaces through the answer below.
+		if pr, ok := path.(store.PrepareRetrier); ok {
+			pr.RetryPrepare()
+		}
+	}
 	// The version is read before the answer, so the verdict reflects this
 	// version or newer — reported versions are monotonic and never label an
 	// answer with a state it has not seen. The cache (when enabled) keys on
 	// its own admission-time version read, which obeys the same bound.
 	version := ds.Version()
 	start := time.Now()
-	ans, err := s.answerPath(ds).Answer(req.Query)
+	var ans bool
+	var err error
+	degraded := false
+	if dd, ok := path.(store.DegradedDataset); dec.Degrade && ok && dd.CanDegrade() {
+		ans, err = dd.AnswerDegraded(req.Query)
+		degraded = err == nil
+	} else if dec.Degrade && !dec.ExactFallback {
+		// A probe is already in flight and this dataset declares no
+		// fallback: shedding is the only way to keep the half-open window
+		// single-probe.
+		s.rejectBreaker(w, r, req.Dataset, dec.RetryAfter)
+		return
+	} else {
+		ctx, cancel := s.queryContext(r)
+		defer cancel()
+		ans, err = store.AnswerWithin(ctx, path, req.Query)
+	}
 	served, failed := 1, 0
 	if err != nil {
 		served, failed = 0, 1 // match the batch path: failed queries count as failed, not served
 	}
 	s.record(ds.SchemeName(), served, failed, time.Since(start), err)
 	if err != nil {
-		writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
+		s.answerFailure(w, r, br, dec.Probe, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Answer: ans, Version: version})
+	br.OnSuccess(dec.Probe)
+	if degraded {
+		s.degradedAnswers.Add(1)
+		obsDegradedAnswers.Inc()
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Answer: ans, Version: version, Degraded: degraded})
 }
 
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
@@ -955,13 +1118,43 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	br := s.reg.Breaker(req.Dataset) // after lookup: see handleQuery
+	dec := br.Allow()
+	if !dec.Admit {
+		s.rejectBreaker(w, r, req.Dataset, dec.RetryAfter)
+		return
+	}
+	path := s.answerPath(ds)
+	if dec.Probe {
+		if pr, ok := path.(store.PrepareRetrier); ok {
+			pr.RetryPrepare() // see handleQuery
+		}
+	}
 	parallelism := req.Parallelism
 	if parallelism > maxBatchParallelism {
 		parallelism = maxBatchParallelism
 	}
 	version := ds.Version() // before the batch: see handleQuery
 	start := time.Now()
-	answers, err := s.answerPath(ds).AnswerBatch(req.Queries, parallelism)
+	var answers []bool
+	var err error
+	degraded := false
+	if dd, ok := path.(store.DegradedDataset); dec.Degrade && ok && dd.CanDegrade() {
+		answers, err = dd.AnswerBatchDegraded(req.Queries, parallelism)
+		degraded = err == nil && len(req.Queries) > 0
+	} else if dec.Degrade && !dec.ExactFallback {
+		s.rejectBreaker(w, r, req.Dataset, dec.RetryAfter)
+		return
+	} else {
+		ctx, cancel := s.queryContext(r)
+		defer cancel()
+		var ndeg int
+		answers, ndeg, err = store.AnswerBatchWithin(ctx, path, req.Queries, parallelism)
+		// A batch that switched to the fallback mid-flight (budget nearly
+		// spent) is degraded as a whole — clients see one flag, not a
+		// per-verdict split, because every verdict is exact either way.
+		degraded = err == nil && ndeg > 0
+	}
 	// Count only queries actually answered: AnswerBatch fails fast and
 	// returns no answers on error, so a failed batch must not inflate the
 	// served-query counter — the whole batch counts as failed instead.
@@ -971,10 +1164,15 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.record(ds.SchemeName(), len(answers), failed, time.Since(start), err)
 	if err != nil {
-		writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
+		s.answerFailure(w, r, br, dec.Probe, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Answers: answers, Version: version})
+	br.OnSuccess(dec.Probe)
+	if degraded {
+		s.degradedAnswers.Add(1)
+		obsDegradedAnswers.Inc()
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Answers: answers, Version: version, Degraded: degraded})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1002,6 +1200,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.DeltasApplied = s.reg.DeltaCount()
 	resp.DeltasDeleted = s.reg.DeleteCount()
 	resp.LogReplays = s.reg.ReplayCount()
+	resp.DegradedAnswers = s.degradedAnswers.Load()
+	resp.Quarantines = s.reg.QuarantineCount()
 	resp.ArtifactBytes, resp.SnapshotBytes = s.reg.ArtifactStats()
 	if resp.ArtifactBytes > 0 {
 		resp.SnapshotCompressionRatio = float64(resp.SnapshotBytes) / float64(resp.ArtifactBytes)

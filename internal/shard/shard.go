@@ -270,8 +270,19 @@ func (ss *ShardedStore) probe(shardIdx int, localQuery []byte) (bool, error) {
 // for the whole call, so every shard probe and summary read within one
 // query sees the same maintenance version.
 func (ss *ShardedStore) Answer(q []byte) (bool, error) {
+	return ss.AnswerContext(context.Background(), q)
+}
+
+// AnswerContext implements store.ContextAnswerer: Answer with the
+// context threaded through the fan-out, checked before every per-shard
+// probe, so an expired query budget stops paying shards it can no
+// longer use.
+func (ss *ShardedStore) AnswerContext(ctx context.Context, q []byte) (bool, error) {
 	ss.mu.RLock()
 	defer ss.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	owner, err := ss.Sharding.Route(q, ss.Asn)
 	if err != nil {
 		return false, err
@@ -280,11 +291,14 @@ func (ss *ShardedStore) Answer(q []byte) (bool, error) {
 		if owner >= len(ss.Stores) {
 			return false, fmt.Errorf("shard: route to shard %d out of range [0,%d)", owner, len(ss.Stores))
 		}
-		return ss.Stores[owner].Answer(q)
+		return ss.Stores[owner].AnswerContext(ctx, q)
 	}
 	fanStart := obs.Start()
 	verdicts := make([]bool, len(ss.Stores))
 	for i := range ss.Stores {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		local, keep, err := ss.fanout(q, i)
 		if err != nil {
 			return false, err
@@ -302,6 +316,21 @@ func (ss *ShardedStore) Answer(q []byte) (bool, error) {
 	v, err := ss.merge(q, verdicts)
 	obsShardMerge.Since(mergeStart)
 	return v, err
+}
+
+// RetryPrepare implements store.PrepareRetrier: every member store
+// drops and rebuilds its prepared answerer (the half-open probe's heal
+// hook); the first failure is reported after all shards have retried.
+func (ss *ShardedStore) RetryPrepare() error {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	var firstErr error
+	for _, st := range ss.Stores {
+		if err := st.RetryPrepare(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // fanout applies Sharding.Fanout with the identity default.
@@ -341,8 +370,19 @@ func (ss *ShardedStore) merge(q []byte, verdicts []bool) (bool, error) {
 // read lock is held across the whole batch, so all verdicts come from one
 // maintenance version.
 func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) {
+	return ss.AnswerBatchContext(context.Background(), queries, parallelism)
+}
+
+// AnswerBatchContext implements store.ContextAnswerer: AnswerBatch with
+// the context threaded through the per-shard sub-batches and the merge
+// pool, so an expired query budget abandons the remaining work instead
+// of paying every shard.
+func (ss *ShardedStore) AnswerBatchContext(ctx context.Context, queries [][]byte, parallelism int) ([]bool, error) {
 	ss.mu.RLock()
 	defer ss.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := len(ss.Stores)
 	results := make([]bool, len(queries))
 
@@ -424,7 +464,7 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 				for k, qi := range idxs {
 					batch[k] = queries[qi]
 				}
-				ans, err := ss.Stores[i].AnswerBatch(batch, perShard)
+				ans, err := ss.Stores[i].AnswerBatchContext(ctx, batch, perShard)
 				if err != nil {
 					fail(err)
 					return
@@ -450,7 +490,7 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 					}
 				}
 				if len(batch) > 0 {
-					ans, err := ss.Stores[i].AnswerBatch(batch, perShard)
+					ans, err := ss.Stores[i].AnswerBatchContext(ctx, batch, perShard)
 					if err != nil {
 						fail(err)
 						return
@@ -491,6 +531,11 @@ func (ss *ShardedStore) AnswerBatch(queries [][]byte, parallelism int) ([]bool, 
 				for !failed.Load() {
 					j := int(next.Add(1)) - 1
 					if j >= len(fanned) {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						mergeErrs[j] = err
+						failed.Store(true)
 						return
 					}
 					got, err := ss.merge(queries[fanned[j]], verdicts[j])

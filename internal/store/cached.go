@@ -1,6 +1,9 @@
 package store
 
 import (
+	"context"
+	"fmt"
+
 	"pitract/internal/cache"
 	"pitract/internal/obs"
 )
@@ -115,4 +118,70 @@ func (cd *cachedDataset) AnswerBatch(queries [][]byte, parallelism int) ([]bool,
 		cd.c.Put(id, version, queries[i], answers[k])
 	}
 	return results, nil
+}
+
+// AnswerContext implements ContextAnswerer: the cache is still
+// consulted (hits beat deadlines for free); a cold key runs the
+// underlying context-aware path so an expired budget aborts the probe.
+func (cd *cachedDataset) AnswerContext(ctx context.Context, q []byte) (bool, error) {
+	ca, ok := cd.Dataset.(ContextAnswerer)
+	if !ok {
+		return cd.Answer(q)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return cd.c.Do(cd.Dataset.DatasetID(), cd.Dataset.Version(), q, func() (bool, error) {
+		return ca.AnswerContext(ctx, q)
+	})
+}
+
+// AnswerBatchContext implements ContextAnswerer with entry-point
+// cancellation; mid-batch expiry is handled by the hard deadline guard
+// (AnswerBatchWithin), which abandons the batch and drops its result.
+func (cd *cachedDataset) AnswerBatchContext(ctx context.Context, queries [][]byte, parallelism int) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cd.AnswerBatch(queries, parallelism)
+}
+
+// CanDegrade implements DegradedDataset by delegation.
+func (cd *cachedDataset) CanDegrade() bool {
+	if dd, ok := cd.Dataset.(DegradedDataset); ok {
+		return dd.CanDegrade()
+	}
+	return false
+}
+
+// AnswerDegraded implements DegradedDataset by delegation, bypassing
+// the cache entirely: degraded-mode traffic must not populate (or be
+// served from) the exact path's cache — verdicts are exact either way,
+// but keeping the flows separate keeps the cache's hit accounting an
+// exact-path signal.
+func (cd *cachedDataset) AnswerDegraded(q []byte) (bool, error) {
+	dd, ok := cd.Dataset.(DegradedDataset)
+	if !ok {
+		return false, fmt.Errorf("store: dataset %q declares no degraded fallback", cd.Dataset.DatasetID())
+	}
+	return dd.AnswerDegraded(q)
+}
+
+// AnswerBatchDegraded implements DegradedDataset by delegation,
+// bypassing the cache (see AnswerDegraded).
+func (cd *cachedDataset) AnswerBatchDegraded(queries [][]byte, parallelism int) ([]bool, error) {
+	dd, ok := cd.Dataset.(DegradedDataset)
+	if !ok {
+		return nil, fmt.Errorf("store: dataset %q declares no degraded fallback", cd.Dataset.DatasetID())
+	}
+	return dd.AnswerBatchDegraded(queries, parallelism)
+}
+
+// RetryPrepare implements PrepareRetrier by delegation (a no-op for
+// datasets that cannot rebuild their prepared form).
+func (cd *cachedDataset) RetryPrepare() error {
+	if pr, ok := cd.Dataset.(PrepareRetrier); ok {
+		return pr.RetryPrepare()
+	}
+	return nil
 }

@@ -30,10 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pitract/internal/store"
 )
@@ -41,7 +43,8 @@ import (
 // ErrCrashed is returned by every operation after the injected crash point.
 var ErrCrashed = errors.New("faultfs: medium crashed")
 
-// ErrInjected is returned by a Write that hit the FailAfterWrites budget.
+// ErrInjected is returned by a Write that hit the FailAfterWrites budget,
+// and by a ReadFile that drew a probabilistic read error (SetReadFaults).
 var ErrInjected = errors.New("faultfs: injected write failure")
 
 // node is one live file: its current content and the prefix of it known to
@@ -70,6 +73,53 @@ type FS struct {
 
 	tornBytes int // bytes of a crashing Write that reach the durable image
 	lieOnSync bool
+
+	readFaults ReadFaults
+	readRNG    *rand.Rand
+}
+
+// ReadFaults arms probabilistic fault injection on the read path — the
+// serve-path chaos the X11 harness drives: transient read errors
+// (flaky medium), torn reads (a reader racing a non-atomic writer or a
+// medium returning short), and injected latency (a disk that went slow
+// rather than loud). Rates are probabilities in [0,1] per ReadFile
+// call; Seed makes a chaos run reproducible.
+type ReadFaults struct {
+	Seed        int64
+	ErrorRate   float64       // ReadFile fails with ErrInjected
+	TornRate    float64       // ReadFile returns a truncated prefix
+	Latency     time.Duration // added to a LatencyRate fraction of reads
+	LatencyRate float64
+}
+
+// SetReadFaults arms (or, with the zero value, disarms) probabilistic
+// read-path faults. Decisions are drawn from a seeded generator under
+// the medium's lock; the injected sleep happens outside it.
+func (f *FS) SetReadFaults(rf ReadFaults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readFaults = rf
+	f.readRNG = rand.New(rand.NewSource(rf.Seed))
+}
+
+// CorruptByte flips one byte of path in both the live and durable
+// images — the corrupt-at-rest artifact (bit rot, foreign scribble)
+// that quarantine-and-heal exists for. Reports whether the path existed
+// and was long enough.
+func (f *FS) CorruptByte(path string, off int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := filepath.Clean(path)
+	ok := false
+	if n, exists := f.live[p]; exists && off < len(n.data) {
+		n.data[off] ^= 0xFF
+		ok = true
+	}
+	if b, exists := f.durable[p]; exists && off < len(b) {
+		b[off] ^= 0xFF
+		ok = true
+	}
+	return ok
 }
 
 // New returns an empty medium with no faults armed.
@@ -153,6 +203,8 @@ func (f *FS) Restart() {
 	f.crashed = false
 	f.crashAt = -1
 	f.failWrites = -1
+	f.readFaults = ReadFaults{}
+	f.readRNG = nil
 	f.ops = 0
 	f.writes = 0
 	f.trace = f.trace[:0]
@@ -185,18 +237,49 @@ func (f *FS) step(op, path string) (bool, error) {
 }
 
 // ReadFile implements store.FS (reads are not counted as operations — they
-// have no durable effect — but a crashed medium refuses them too).
+// have no durable effect — but a crashed medium refuses them too). Armed
+// read faults (SetReadFaults) may delay the read, fail it with
+// ErrInjected, or return a torn prefix.
 func (f *FS) ReadFile(name string) ([]byte, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.crashed {
+		f.mu.Unlock()
 		return nil, fmt.Errorf("read %s: %w", name, ErrCrashed)
 	}
+	var sleep time.Duration
+	var fail, torn bool
+	tornFrac := 0.0
+	if f.readRNG != nil {
+		rf := f.readFaults
+		if rf.LatencyRate > 0 && f.readRNG.Float64() < rf.LatencyRate {
+			sleep = rf.Latency
+		}
+		if rf.ErrorRate > 0 && f.readRNG.Float64() < rf.ErrorRate {
+			fail = true
+		} else if rf.TornRate > 0 && f.readRNG.Float64() < rf.TornRate {
+			torn = true
+			tornFrac = f.readRNG.Float64()
+		}
+	}
 	n, ok := f.live[filepath.Clean(name)]
+	var data []byte
+	if ok {
+		data = append([]byte(nil), n.data...)
+	}
+	f.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fail {
+		return nil, fmt.Errorf("read %s: %w", name, ErrInjected)
+	}
 	if !ok {
 		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
 	}
-	return append([]byte(nil), n.data...), nil
+	if torn {
+		return data[:int(tornFrac*float64(len(data)))], nil
+	}
+	return data, nil
 }
 
 // ReadDirNames implements store.FS.

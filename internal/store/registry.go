@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"math/rand"
 	"net/url"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pitract/internal/core"
 	"pitract/internal/obs"
@@ -119,6 +122,14 @@ type Registry struct {
 	deltaCount      atomic.Int64
 	deleteCount     atomic.Int64
 	replayCount     atomic.Int64
+	quarantineCount atomic.Int64
+
+	// breakerMu guards the per-dataset circuit breakers separately from
+	// the entries mutex: breaker decisions sit on the hot answer path and
+	// must never contend with builds.
+	breakerMu  sync.Mutex
+	breakers   map[string]*Breaker
+	breakerCfg BreakerConfig
 }
 
 // regEntry is a future for one dataset: done closes once ds/err are set,
@@ -378,14 +389,52 @@ func (r *Registry) RegisterContext(ctx context.Context, id string, scheme *core.
 	return st, nil
 }
 
+// rebuildAttempts bounds the jittered-backoff retry loop around
+// persistence I/O on the quarantine-and-heal rebuild path (and the
+// transient-read retry before declaring a snapshot unreadable).
+const rebuildAttempts = 3
+
+// rebuildBackoff sleeps before retry attempt (1-based), with ±50%
+// jitter so concurrent rebuilds don't hammer a recovering medium in
+// lockstep: 5ms, 10ms, 20ms… before jitter.
+func rebuildBackoff(attempt int) {
+	base := 5 * time.Millisecond << (attempt - 1)
+	time.Sleep(time.Duration(float64(base) * (0.5 + rand.Float64())))
+}
+
+// loadSnapshot reads the dataset's snapshot, retrying transient I/O
+// errors with jittered backoff. A missing file and a corrupt artifact
+// (typed CorruptArtifactError) return immediately — neither gets better
+// by retrying.
+func (r *Registry) loadSnapshot(fsys FS, id string) (*Snapshot, error) {
+	var err error
+	for attempt := 1; ; attempt++ {
+		var snap *Snapshot
+		snap, err = LoadFS(fsys, r.snapshotPath(id))
+		if err == nil {
+			return snap, nil
+		}
+		var ce *CorruptArtifactError
+		if errors.Is(err, fs.ErrNotExist) || errors.As(err, &ce) || attempt >= rebuildAttempts {
+			return nil, err
+		}
+		rebuildBackoff(attempt)
+	}
+}
+
 // build produces the store for one first-time registration.
 func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, error) {
 	sum := SumData(data)
+	// quarantined marks a registration that found its persisted snapshot
+	// corrupt: the artifact was renamed aside and the store is rebuilt
+	// from source — but the delta log (if any) survives and is replayed,
+	// because its records are acknowledged batches for this same data.
+	quarantined := false
 	if r.med.persistent() {
 		fsys := r.med.fs()
 		loadStart := obs.Start()
-		if snap, err := LoadFS(fsys, r.snapshotPath(id)); err == nil &&
-			snap.SchemeName == scheme.Name() && snap.DataSum == sum {
+		snap, lerr := r.loadSnapshot(fsys, id)
+		if lerr == nil && snap.SchemeName == scheme.Name() && snap.DataSum == sum {
 			obsSnapshotLoad.Since(loadStart)
 			r.loadCount.Add(1)
 			obsSnapshotLoadTotal.Inc()
@@ -407,6 +456,14 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 			obsWarm.Since(warmStart)
 			return st, nil
 		}
+		var ce *CorruptArtifactError
+		if errors.As(lerr, &ce) {
+			// The snapshot failed CRC or decode: keep the bytes for
+			// forensics under *.quarantine and rebuild Π from source
+			// instead of erroring the dataset permanently.
+			r.quarantineArtifact(fsys, r.snapshotPath(id), id)
+			quarantined = true
+		}
 	}
 	ppStart := obs.Start()
 	pd, err := scheme.Preprocess(data)
@@ -420,14 +477,28 @@ func (r *Registry) build(id string, scheme *core.Scheme, data []byte) (*Store, e
 	if r.med.persistent() {
 		fsys := r.med.fs()
 		saveStart := obs.Start()
-		if err := SaveFS(fsys, r.snapshotPath(id), st.Snapshot()); err != nil {
-			return nil, err
+		saveErr := SaveFS(fsys, r.snapshotPath(id), st.Snapshot())
+		for attempt := 1; saveErr != nil && quarantined && attempt < rebuildAttempts; attempt++ {
+			// The heal path tolerates a still-flaky medium: retry the
+			// rebuild's persistence with jittered backoff before giving up.
+			rebuildBackoff(attempt)
+			saveErr = SaveFS(fsys, r.snapshotPath(id), st.Snapshot())
+		}
+		if saveErr != nil {
+			return nil, saveErr
 		}
 		obsSnapshotSave.Since(saveStart)
-		// A fresh preprocess supersedes any delta log a previous incarnation
-		// of this ID left behind (different data or scheme): its records
-		// apply to a Π that no longer exists.
-		if err := RemoveLog(fsys, LogPath(r.med.Dir, id)); err != nil {
+		if quarantined {
+			// The surviving delta log holds acknowledged batches for this
+			// same data digest, starting at the rebuilt version 0: replay
+			// them instead of discarding acknowledged state.
+			if err := r.replayLog(st); err != nil {
+				return nil, fmt.Errorf("store: register %q: %w", id, err)
+			}
+		} else if err := RemoveLog(fsys, LogPath(r.med.Dir, id)); err != nil {
+			// A fresh preprocess supersedes any delta log a previous
+			// incarnation of this ID left behind (different data or
+			// scheme): its records apply to a Π that no longer exists.
 			return nil, err
 		}
 	}
@@ -451,6 +522,16 @@ func (r *Registry) replayLog(st *Store) error {
 	logPath := LogPath(r.med.Dir, st.ID)
 	records, err := ReadLog(fsys, logPath)
 	if err != nil {
+		var ce *CorruptArtifactError
+		if errors.As(err, &ce) {
+			// The log is structurally corrupt (foreign magic or a
+			// CRC-valid-but-unparseable body — hostility, not a torn
+			// crash). Its tail is unrecoverable either way: quarantine the
+			// bytes for forensics and serve the checkpointed snapshot
+			// rather than wedging the dataset.
+			r.quarantineArtifact(fsys, logPath, st.ID)
+			return nil
+		}
 		return err
 	}
 	if len(records) == 0 {

@@ -24,9 +24,12 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pitract/internal/core"
 	"pitract/internal/obs"
@@ -309,10 +312,30 @@ func LoadFS(fsys FS, path string) (*Snapshot, error) {
 	}
 	s, err := DecodeSnapshot(b)
 	if err != nil {
-		return nil, fmt.Errorf("store: load %s: %w", path, err)
+		// Structural failure (magic, CRC, decode) on bytes the medium
+		// delivered intact: the artifact itself is corrupt, not the read.
+		// The typed wrapper lets the registry quarantine-and-rebuild
+		// instead of treating it like a transient I/O error.
+		return nil, &CorruptArtifactError{Path: path, Err: fmt.Errorf("store: load %s: %w", path, err)}
 	}
 	return s, nil
 }
+
+// CorruptArtifactError marks a persisted artifact (snapshot or delta
+// log) that failed structural validation — wrong magic, checksum
+// mismatch, or an undecodable body — as opposed to a transient I/O
+// error reading it. The registry responds by renaming the artifact to
+// *.quarantine and rebuilding from source (see Registry build) rather
+// than wedging the dataset. The message is the underlying error's,
+// unchanged.
+type CorruptArtifactError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptArtifactError) Error() string { return e.Err.Error() }
+
+func (e *CorruptArtifactError) Unwrap() error { return e.Err }
 
 // SumData digests raw data for snapshot freshness checks.
 func SumData(data []byte) DataChecksum { return sha256.Sum256(data) }
@@ -371,6 +394,37 @@ type Store struct {
 	// while the answerer is unbuilt.
 	ans    core.Answerer
 	ansErr error
+	// fb is the degraded-mode fallback answerer for the current Π (built
+	// from Scheme.PrepareFallback on first degraded answer, invalidated
+	// with ans on every maintenance commit); fbErr is its sticky build
+	// failure. Both are guarded by mu like ans/ansErr.
+	fb    core.Answerer
+	fbErr error
+}
+
+// PrepareError marks a failed Scheme.Prepare — the answerer build —
+// as opposed to a per-query validation failure. The serving layer
+// classifies it as a server-side fault (the dataset's Π is unreadable)
+// and counts it against the dataset's health breaker, whose half-open
+// probe retries the build via RetryPrepare. The message is the
+// underlying error's, unchanged, so the raw path's pinned error
+// strings hold.
+type PrepareError struct{ Err error }
+
+func (e *PrepareError) Error() string { return e.Err.Error() }
+
+func (e *PrepareError) Unwrap() error { return e.Err }
+
+// wrapPrepareErr types a Prepare failure exactly once.
+func wrapPrepareErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *PrepareError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &PrepareError{Err: err}
 }
 
 // SetVersion stamps the maintenance version on a freshly constructed store
@@ -405,7 +459,10 @@ func (st *Store) Replace(prep []byte, version uint64) {
 func (st *Store) ReplacePrepared(prep []byte, version uint64, a core.Answerer, aerr error) {
 	st.mu.Lock()
 	st.Prep, st.version = prep, version
-	st.ans, st.ansErr = a, aerr
+	st.ans, st.ansErr = a, wrapPrepareErr(aerr)
+	// The fallback answerer decodes the same Π: a maintenance commit
+	// invalidates it too (rebuilt lazily on the next degraded answer).
+	st.fb, st.fbErr = nil, nil
 	st.mu.Unlock()
 }
 
@@ -440,12 +497,28 @@ func (st *Store) answerer() (core.Answerer, error) {
 		return a, aerr
 	}
 	a, aerr = st.Scheme.Prepare(pd)
+	aerr = wrapPrepareErr(aerr)
 	st.mu.Lock()
 	if st.ans == nil && st.ansErr == nil && st.version == v {
 		st.ans, st.ansErr = a, aerr
 	}
 	st.mu.Unlock()
 	return a, aerr
+}
+
+// RetryPrepare implements PrepareRetrier: it drops the cached prepared
+// answerer (successful or failed) and rebuilds it from the current Π.
+// This is the heal path for a Prepare that failed transiently (e.g. an
+// injected I/O fault inside a scheme's decode): without it the first
+// failure would poison the store until restart. Called by a health
+// breaker's half-open probe.
+func (st *Store) RetryPrepare() error {
+	st.mu.Lock()
+	st.ans, st.ansErr = nil, nil
+	st.fb, st.fbErr = nil, nil
+	st.mu.Unlock()
+	_, err := st.answerer()
+	return err
 }
 
 // Version implements Dataset: the number of deltas applied since
@@ -610,6 +683,117 @@ func (st *Store) AnswerBatch(queries [][]byte, parallelism int) ([]bool, error) 
 		return nil, fmt.Errorf("scheme %s: batch query %d: %w", st.Scheme.Name(), 0, err)
 	}
 	return core.AnswerBatchPrepared(st.Scheme.Name(), a, queries, parallelism)
+}
+
+// AnswerContext implements ContextAnswerer: Answer with a cancellation
+// check up front (a single prepared probe is too fine-grained to
+// interrupt mid-flight).
+func (st *Store) AnswerContext(ctx context.Context, q []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return st.Answer(q)
+}
+
+// AnswerBatchContext implements ContextAnswerer: AnswerBatch with the
+// context consulted before every probe, so an expired deadline abandons
+// the remainder of the batch instead of paying it.
+func (st *Store) AnswerBatchContext(ctx context.Context, queries [][]byte, parallelism int) ([]bool, error) {
+	if len(queries) == 0 {
+		return []bool{}, nil
+	}
+	a, err := st.answerer()
+	if err != nil {
+		return nil, fmt.Errorf("scheme %s: batch query %d: %w", st.Scheme.Name(), 0, err)
+	}
+	return core.AnswerBatchPreparedContext(ctx, st.Scheme.Name(), a, queries, parallelism)
+}
+
+// fallbackAnswerer returns the degraded-mode answerer for the current
+// Π, building and installing it on first use with the same
+// version-checked double-install discipline as answerer.
+func (st *Store) fallbackAnswerer() (core.Answerer, error) {
+	if st.Scheme.PrepareFallback == nil {
+		return nil, fmt.Errorf("store: scheme %s declares no degraded fallback", st.Scheme.Name())
+	}
+	st.mu.RLock()
+	fb, fbErr, pd, v := st.fb, st.fbErr, st.Prep, st.version
+	st.mu.RUnlock()
+	if fb != nil || fbErr != nil {
+		return fb, fbErr
+	}
+	fb, fbErr = st.Scheme.PrepareFallback(pd)
+	st.mu.Lock()
+	if st.fb == nil && st.fbErr == nil && st.version == v {
+		st.fb, st.fbErr = fb, fbErr
+	}
+	st.mu.Unlock()
+	return fb, fbErr
+}
+
+// CanDegrade implements DegradedDataset: whether the scheme declares a
+// cheaper fallback answerer.
+func (st *Store) CanDegrade() bool { return st.Scheme.PrepareFallback != nil }
+
+// AnswerDegraded implements DegradedDataset: one query through the
+// scheme's declared fallback. Verdicts are exact — the fallback trades
+// probe cost and build cost, not correctness.
+func (st *Store) AnswerDegraded(q []byte) (bool, error) {
+	fb, err := st.fallbackAnswerer()
+	if err != nil {
+		return false, err
+	}
+	return fb.Answer(q)
+}
+
+// AnswerBatchDegraded implements DegradedDataset: a whole batch through
+// the fallback, with the usual batch error shape.
+func (st *Store) AnswerBatchDegraded(queries [][]byte, parallelism int) ([]bool, error) {
+	if len(queries) == 0 {
+		return []bool{}, nil
+	}
+	fb, err := st.fallbackAnswerer()
+	if err != nil {
+		return nil, fmt.Errorf("scheme %s: batch query %d: %w", st.Scheme.Name(), 0, err)
+	}
+	return core.AnswerBatchPrepared(st.Scheme.Name(), fb, queries, parallelism)
+}
+
+// AnswerBatchDegradable implements DegradableBatcher: the batch starts
+// on the exact path and switches to the scheme's declared fallback once
+// less than a quarter of the deadline budget remains, reporting how
+// many queries answered degraded. Without a deadline or a fallback it
+// is the plain context batch.
+func (st *Store) AnswerBatchDegradable(ctx context.Context, queries [][]byte, parallelism int) ([]bool, int, error) {
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline || !st.CanDegrade() {
+		ans, err := st.AnswerBatchContext(ctx, queries, parallelism)
+		return ans, 0, err
+	}
+	if len(queries) == 0 {
+		return []bool{}, 0, nil
+	}
+	a, err := st.answerer()
+	if err != nil {
+		return nil, 0, fmt.Errorf("scheme %s: batch query %d: %w", st.Scheme.Name(), 0, err)
+	}
+	start := time.Now()
+	var degraded atomic.Int64
+	var fbOnce sync.Once
+	var fb core.Answerer
+	var fbErr error
+	wrapped := core.AnswererFunc(func(q []byte) (bool, error) {
+		if budgetLow(start, deadline) {
+			fbOnce.Do(func() { fb, fbErr = st.fallbackAnswerer() })
+			if fbErr == nil && fb != nil {
+				degraded.Add(1)
+				return fb.Answer(q)
+			}
+		}
+		return a.Answer(q)
+	})
+	ans, err := core.AnswerBatchPreparedContext(ctx, st.Scheme.Name(), wrapped, queries, parallelism)
+	return ans, int(degraded.Load()), err
 }
 
 // Snapshot renders the store as a persistable snapshot.

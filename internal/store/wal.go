@@ -119,7 +119,7 @@ func ReadLog(fsys FS, path string) ([]LogRecord, error) {
 		return nil, nil
 	}
 	if string(b[:len(logMagic)]) != string(logMagic) {
-		return nil, fmt.Errorf("store: %s is not a pitract delta log", path)
+		return nil, &CorruptArtifactError{Path: path, Err: fmt.Errorf("store: %s is not a pitract delta log", path)}
 	}
 	var records []LogRecord
 	off := len(logMagic)
@@ -142,7 +142,8 @@ func ReadLog(fsys FS, path string) ([]LogRecord, error) {
 		}
 		rec, err := decodeLogBody(body)
 		if err != nil {
-			return nil, fmt.Errorf("store: read log %s: record %d: %w", path, len(records), err)
+			return nil, &CorruptArtifactError{Path: path,
+				Err: fmt.Errorf("store: read log %s: record %d: %w", path, len(records), err)}
 		}
 		records = append(records, rec)
 		off = bodyOff + int(bodyLen)

@@ -82,6 +82,18 @@
 // net/http/pprof on its own listener). SetMetricsEnabled(false) is the
 // kill switch; experiment X8 measures the instrumentation's overhead.
 //
+// The serving path degrades gracefully instead of falling over: every
+// query can carry a deadline (AnswerWithin, `pitract serve
+// -query-budget-ms`; overruns are abandoned with 504 and the late worker's
+// result dropped), each dataset is fronted by a health circuit breaker
+// (HealthBreaker — repeated serve-path failures trip it open and traffic
+// is refused fast with 503 + Retry-After until a backoff-paced probe
+// heals it), corrupt snapshots and delta logs are quarantined aside
+// (QuarantinePath) and rebuilt from source, and schemes with a declared
+// cheaper fallback keep answering exactly in degraded mode while
+// unhealthy. Experiment X11 drives a live server through fault injection
+// and pins all of it differentially.
+//
 // See README.md for a tour, docs/ARCHITECTURE.md for the layer map,
 // docs/API.md for the HTTP reference, and EXPERIMENTS.md for
 // paper-vs-measured results.
@@ -281,6 +293,65 @@ type (
 	// work is abandoned (no catalog entry; nothing applied) and the id
 	// stays free for a retried attempt.
 	StoreBudgetError = store.BudgetError
+	// StoreDeadlineError is the error an answer path returns when a query
+	// or batch outruns its context deadline (`pitract serve
+	// -query-budget-ms`; HTTP 504): the work is abandoned and its late
+	// result dropped.
+	StoreDeadlineError = store.DeadlineError
+	// StorePrepareError wraps a failed prepared-answerer build (a
+	// scheme's Prepare failing on its Π) so serving layers can classify
+	// it as a dataset-health failure; the message bytes are the
+	// underlying error's, unchanged. Store.RetryPrepare clears it.
+	StorePrepareError = store.PrepareError
+	// StoreCorruptArtifactError wraps a snapshot or delta-log read that
+	// failed integrity or decode checks — the trigger for quarantine
+	// (the artifact is renamed aside with QuarantinePath and rebuilt
+	// from source).
+	StoreCorruptArtifactError = store.CorruptArtifactError
+	// HealthBreaker is one dataset's health circuit breaker: windowed
+	// failure counting, healthy → degraded → open transitions, and
+	// exponential-backoff half-open probes (see HealthBreakerConfig and
+	// StoreRegistry.Breaker).
+	HealthBreaker = store.Breaker
+	// HealthBreakerConfig tunes a breaker's failure window and backoff;
+	// install per registry with StoreRegistry.SetBreakerConfig.
+	HealthBreakerConfig = store.BreakerConfig
+	// HealthBreakerDecision is one admission verdict from
+	// HealthBreaker.Allow.
+	HealthBreakerDecision = store.BreakerDecision
+	// HealthState is a dataset's health: healthy, degraded, open, or
+	// quarantined (rendered per dataset by GET /healthz).
+	HealthState = store.HealthState
+)
+
+// Dataset health states (see HealthBreaker).
+const (
+	// HealthHealthy: the dataset is serving normally.
+	HealthHealthy = store.HealthHealthy
+	// HealthDegraded: recent failures; traffic prefers the declared
+	// degraded-mode fallback when the scheme has one.
+	HealthDegraded = store.HealthDegraded
+	// HealthOpen: the breaker tripped; traffic is refused fast (503 +
+	// Retry-After) except backoff-paced probes.
+	HealthOpen = store.HealthOpen
+	// HealthQuarantined: a persisted artifact failed integrity checks and
+	// was renamed aside; the dataset was rebuilt from source.
+	HealthQuarantined = store.HealthQuarantined
+)
+
+// Deadline-bounded answering and quarantine helpers.
+var (
+	// AnswerWithin answers one query against a dataset under a context
+	// deadline: expiry abandons the in-flight answer (its worker's late
+	// result is dropped) and returns a *StoreDeadlineError.
+	AnswerWithin = store.AnswerWithin
+	// AnswerBatchWithin is AnswerWithin for batches; it also reports how
+	// many verdicts were served through the scheme's degraded fallback
+	// when the budget ran low mid-batch.
+	AnswerBatchWithin = store.AnswerBatchWithin
+	// QuarantinePath maps an artifact path to its quarantine name (the
+	// ".quarantine" suffix a corrupt snapshot or log is renamed to).
+	QuarantinePath = store.QuarantinePath
 )
 
 var (

@@ -132,8 +132,8 @@ func TestRunExperimentAndErrors(t *testing.T) {
 		t.Fatalf("error %v does not name the id", err)
 	}
 	_ = unknown
-	if len(Experiments()) != 33 {
-		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1…X10", len(Experiments()))
+	if len(Experiments()) != 34 {
+		t.Fatalf("Experiments() = %d entries, want 23 paper artifacts plus X1…X11", len(Experiments()))
 	}
 }
 
